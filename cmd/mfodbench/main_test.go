@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestRunOneFigures(t *testing.T) {
+	if err := runOne("fig1", 0, 1, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOne("fig2", 0, 1, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 skipped in -short mode")
+	}
+	// A minimal configuration keeps the test fast while walking the whole
+	// experiment path: 2 repetitions, 80 beats, FUNTA only.
+	if err := runOne("fig3", 2, 1, 80, 0, "FUNTA", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("bogus", 0, 1, 0, 0, "", ""); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunOneDirOutDecomp(t *testing.T) {
+	if err := runOne("dirout-decomp", 0, 1, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3ChartRendersSeries(t *testing.T) {
+	sums := []eval.Summary{
+		{Method: "a", Contamination: 0.05, MeanAUC: 0.9},
+		{Method: "a", Contamination: 0.10, MeanAUC: 0.8},
+		{Method: "b", Contamination: 0.05, MeanAUC: 0.7},
+		{Method: "b", Contamination: 0.10, MeanAUC: 0.6},
+	}
+	out := fig3Chart(sums)
+	if !strings.Contains(out, "legend: o a   * b") {
+		t.Fatalf("chart legend missing:\n%s", out)
+	}
+}
+
+func TestWriteSummariesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	sums := []eval.Summary{{Method: "m", Contamination: 0.1, TrainSize: 10, MeanAUC: 0.9, StdAUC: 0.01, AUCs: []float64{0.9}}}
+	if err := writeSummariesCSV(path, sums); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "m,0.1,10,0.9,0.01,1") {
+		t.Fatalf("csv content wrong:\n%s", data)
+	}
+}
+
+func TestRunUnknownMethodFilter(t *testing.T) {
+	if err := runOne("fig3", 1, 1, 80, 0, "NotAMethod", ""); err == nil {
+		t.Fatal("unknown method filter must fail")
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func writeTestCSV(t *testing.T, n int, seed int64) string {
+	t.Helper()
+	d, err := dataset.ECGBivariate(dataset.ECGOptions{N: n, Points: 30, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "curves.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTransductive(t *testing.T) {
+	in := writeTestCSV(t, 30, 1)
+	if err := run(in, "", "log-curvature", "ifor", "", "", 5, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrainTestSplitFiles(t *testing.T) {
+	train := writeTestCSV(t, 30, 2)
+	test := writeTestCSV(t, 20, 3)
+	if err := run(test, train, "curvature", "knn", "", "", 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEveryDetector(t *testing.T) {
+	in := writeTestCSV(t, 24, 4)
+	for _, det := range []string{"ifor", "lof", "knn"} {
+		if err := run(in, "", "log-curvature", det, "", "", 3, 0, 1); err != nil {
+			t.Fatalf("%s: %v", det, err)
+		}
+	}
+}
+
+func TestRunSaveAndReuseModel(t *testing.T) {
+	in := writeTestCSV(t, 24, 6)
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	if err := run(in, "", "log-curvature", "ifor", modelPath, "", 3, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Score fresh data with the saved model, no refit.
+	fresh := writeTestCSV(t, 12, 7)
+	if err := run(fresh, "", "", "", "", modelPath, 3, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A missing model file fails cleanly.
+	if err := run(fresh, "", "", "", "", filepath.Join(t.TempDir(), "no.json"), 0, 0, 1); err == nil {
+		t.Fatal("missing model must fail")
+	}
+}
+
+func TestBuildDetectorUnknown(t *testing.T) {
+	if _, err := buildDetector("bogus", 1); err == nil || !strings.Contains(err.Error(), "unknown detector") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "curvature", "ifor", "", "", 0, 0, 1); err == nil {
+		t.Fatal("missing -in must fail")
+	}
+	in := writeTestCSV(t, 10, 5)
+	if err := run(in, "", "bogus-mapping", "ifor", "", "", 0, 0, 1); err == nil || !strings.Contains(err.Error(), "unknown mapping") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", "curvature", "ifor", "", "", 0, 0, 1); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

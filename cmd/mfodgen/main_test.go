@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunWritesECGCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ecg.csv")
+	if err := run("ecg", 12, 20, 0.25, true, "", 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 12 {
+		t.Fatalf("n = %d want 12", d.Len())
+	}
+	if d.Samples[0].Dim() != 2 {
+		t.Fatalf("bivariate flag ignored: dim = %d", d.Samples[0].Dim())
+	}
+	if d.Samples[0].Len() != 20 {
+		t.Fatalf("points = %d want 20", d.Samples[0].Len())
+	}
+}
+
+func TestRunTaxonomyClasses(t *testing.T) {
+	for _, class := range dataset.OutlierClasses() {
+		out := filepath.Join(t.TempDir(), class.String()+".csv")
+		if err := run("taxonomy", 10, 15, 0.2, false, class.String(), 1, out); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig1.csv")
+	if err := run("fig1", 0, 0, 0, false, "", 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 21 {
+		t.Fatalf("fig1 n = %d want 21", d.Len())
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run("nope", 0, 0, 0, false, "", 1, "-"); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run("taxonomy", 10, 15, 0, false, "bogus", 1, "-"); err == nil || !strings.Contains(err.Error(), "unknown taxonomy class") {
+		t.Fatalf("err = %v", err)
+	}
+}

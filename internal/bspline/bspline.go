@@ -1,0 +1,226 @@
+package bspline
+
+import (
+	"fmt"
+	"math"
+)
+
+// BSpline is a clamped B-spline basis of a given order (order = degree + 1)
+// on [lo, hi] with uniformly spaced interior knots. With L basis functions
+// of order k the knot vector has L + k entries: the endpoints repeated k
+// times and L − k uniform interior knots, so the basis spans exactly the
+// piecewise polynomials of degree k−1 with continuity C^{k−2} at the knots.
+type BSpline struct {
+	order int // k = degree + 1
+	dim   int // L
+	knots []float64
+	lo    float64
+	hi    float64
+}
+
+// New returns a clamped uniform B-spline basis with dim functions of the
+// given order on [lo, hi]. It requires order >= 1, dim >= order and
+// lo < hi. Order 4 (cubic) is the default choice throughout the paper.
+func New(dim, order int, lo, hi float64) (*BSpline, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("bspline: order %d < 1: %w", order, ErrBasis)
+	}
+	if dim < order {
+		return nil, fmt.Errorf("bspline: dim %d < order %d: %w", dim, order, ErrBasis)
+	}
+	if !(lo < hi) || math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("bspline: invalid domain [%g, %g]: %w", lo, hi, ErrBasis)
+	}
+	nInterior := dim - order
+	knots := make([]float64, dim+order)
+	for i := 0; i < order; i++ {
+		knots[i] = lo
+		knots[len(knots)-1-i] = hi
+	}
+	for i := 1; i <= nInterior; i++ {
+		knots[order-1+i] = lo + (hi-lo)*float64(i)/float64(nInterior+1)
+	}
+	return &BSpline{order: order, dim: dim, knots: knots, lo: lo, hi: hi}, nil
+}
+
+// NewCubic returns the order-4 (cubic) basis the paper uses.
+func NewCubic(dim int, lo, hi float64) (*BSpline, error) { return New(dim, 4, lo, hi) }
+
+// Dim returns the number of basis functions.
+func (b *BSpline) Dim() int { return b.dim }
+
+// Order returns the spline order (degree + 1).
+func (b *BSpline) Order() int { return b.order }
+
+// Domain returns the interval the basis is defined on.
+func (b *BSpline) Domain() (lo, hi float64) { return b.lo, b.hi }
+
+// Knots returns a copy of the full clamped knot vector.
+func (b *BSpline) Knots() []float64 {
+	out := make([]float64, len(b.knots))
+	copy(out, b.knots)
+	return out
+}
+
+// Breakpoints returns the distinct knot values: the panels on which every
+// basis function is a polynomial.
+func (b *BSpline) Breakpoints() []float64 {
+	out := []float64{b.knots[0]}
+	for _, k := range b.knots[1:] {
+		if k > out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// findSpan returns the knot-span index i with knots[i] <= t < knots[i+1],
+// clamping t to the domain and mapping t == hi to the last non-empty span.
+func (b *BSpline) findSpan(t float64) int {
+	k := b.order
+	n := b.dim
+	if t <= b.lo {
+		return k - 1
+	}
+	if t >= b.hi {
+		return n - 1
+	}
+	lo, hi := k-1, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if t < b.knots[mid] {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// Eval writes the deriv-th derivative of all basis functions at t into
+// out (length Dim). Derivatives of order >= spline order are identically
+// zero. It implements the banded derivative algorithm of Piegl & Tiller
+// (The NURBS Book, A2.3): only the `order` functions that are non-zero on
+// the span containing t are computed.
+func (b *BSpline) Eval(t float64, deriv int, out []float64) {
+	if len(out) != b.dim {
+		panic(fmt.Sprintf("bspline: Eval out length %d, want %d", len(out), b.dim))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	if deriv < 0 {
+		panic(fmt.Sprintf("bspline: negative derivative order %d", deriv))
+	}
+	degree := b.order - 1
+	if deriv > degree {
+		return // derivative of order > degree vanishes everywhere
+	}
+	if t < b.lo {
+		t = b.lo
+	}
+	if t > b.hi {
+		t = b.hi
+	}
+	span := b.findSpan(t)
+	ders := b.dersBasisFuns(span, t, deriv)
+	for j := 0; j <= degree; j++ {
+		idx := span - degree + j
+		if idx >= 0 && idx < b.dim {
+			out[idx] = ders[deriv][j]
+		}
+	}
+}
+
+// dersBasisFuns computes derivatives 0..n of the degree+1 non-vanishing
+// basis functions on the given span at t. Result[r][j] is the r-th
+// derivative of basis function span−degree+j.
+func (b *BSpline) dersBasisFuns(span int, t float64, n int) [][]float64 {
+	p := b.order - 1
+	u := b.knots
+	ndu := make([][]float64, p+1)
+	for i := range ndu {
+		ndu[i] = make([]float64, p+1)
+	}
+	ndu[0][0] = 1
+	left := make([]float64, p+1)
+	right := make([]float64, p+1)
+	for j := 1; j <= p; j++ {
+		left[j] = t - u[span+1-j]
+		right[j] = u[span+j] - t
+		var saved float64
+		for r := 0; r < j; r++ {
+			// Lower triangle: knot differences.
+			ndu[j][r] = right[r+1] + left[j-r]
+			var temp float64
+			if ndu[j][r] != 0 {
+				temp = ndu[r][j-1] / ndu[j][r]
+			}
+			// Upper triangle: basis values.
+			ndu[r][j] = saved + right[r+1]*temp
+			saved = left[j-r] * temp
+		}
+		ndu[j][j] = saved
+	}
+	ders := make([][]float64, n+1)
+	for i := range ders {
+		ders[i] = make([]float64, p+1)
+	}
+	for j := 0; j <= p; j++ {
+		ders[0][j] = ndu[j][p]
+	}
+	// Two alternating rows of coefficients.
+	a := [2][]float64{make([]float64, p+1), make([]float64, p+1)}
+	for r := 0; r <= p; r++ {
+		s1, s2 := 0, 1
+		a[0][0] = 1
+		for k := 1; k <= n; k++ {
+			var d float64
+			rk := r - k
+			pk := p - k
+			if r >= k {
+				if ndu[pk+1][rk] != 0 {
+					a[s2][0] = a[s1][0] / ndu[pk+1][rk]
+				} else {
+					a[s2][0] = 0
+				}
+				d = a[s2][0] * ndu[rk][pk]
+			}
+			j1 := 1
+			if rk < -1 {
+				j1 = -rk
+			}
+			j2 := k - 1
+			if r-1 > pk {
+				j2 = p - r
+			}
+			for j := j1; j <= j2; j++ {
+				if ndu[pk+1][rk+j] != 0 {
+					a[s2][j] = (a[s1][j] - a[s1][j-1]) / ndu[pk+1][rk+j]
+				} else {
+					a[s2][j] = 0
+				}
+				d += a[s2][j] * ndu[rk+j][pk]
+			}
+			if r <= pk {
+				if ndu[pk+1][r] != 0 {
+					a[s2][k] = -a[s1][k-1] / ndu[pk+1][r]
+				} else {
+					a[s2][k] = 0
+				}
+				d += a[s2][k] * ndu[r][pk]
+			}
+			ders[k][r] = d
+			s1, s2 = s2, s1
+		}
+	}
+	// Multiply through by the factorial-style factors p!/(p−k)!.
+	r := float64(p)
+	for k := 1; k <= n; k++ {
+		for j := 0; j <= p; j++ {
+			ders[k][j] *= r
+		}
+		r *= float64(p - k)
+	}
+	return ders
+}

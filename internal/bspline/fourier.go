@@ -1,0 +1,77 @@
+package bspline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fourier is the trigonometric basis {1, sin(ωt), cos(ωt), sin(2ωt), …}
+// with ω = 2π/(hi−lo), the alternative the paper suggests for periodic
+// functional data (Sec. 2.1). The dimension is always odd: a constant plus
+// (dim−1)/2 sine/cosine pairs.
+type Fourier struct {
+	dim    int
+	lo, hi float64
+	omega  float64
+}
+
+// NewFourier returns a Fourier basis with dim functions (dim must be odd
+// and >= 1) on [lo, hi].
+func NewFourier(dim int, lo, hi float64) (*Fourier, error) {
+	if dim < 1 || dim%2 == 0 {
+		return nil, fmt.Errorf("bspline: fourier dim must be odd and >=1, got %d: %w", dim, ErrBasis)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("bspline: invalid domain [%g, %g]: %w", lo, hi, ErrBasis)
+	}
+	return &Fourier{dim: dim, lo: lo, hi: hi, omega: 2 * math.Pi / (hi - lo)}, nil
+}
+
+// Dim returns the number of basis functions.
+func (f *Fourier) Dim() int { return f.dim }
+
+// Domain returns the interval the basis is defined on.
+func (f *Fourier) Domain() (lo, hi float64) { return f.lo, f.hi }
+
+// Breakpoints returns a uniform panel decomposition fine enough for the
+// penalty quadrature to resolve the highest harmonic.
+func (f *Fourier) Breakpoints() []float64 {
+	harmonics := (f.dim - 1) / 2
+	panels := 4 * (harmonics + 1)
+	out := make([]float64, panels+1)
+	for i := range out {
+		out[i] = f.lo + (f.hi-f.lo)*float64(i)/float64(panels)
+	}
+	return out
+}
+
+// Eval writes the deriv-th derivative of every basis function at t into
+// out. Basis order: [1, sin(ωt), cos(ωt), sin(2ωt), cos(2ωt), …].
+func (f *Fourier) Eval(t float64, deriv int, out []float64) {
+	if len(out) != f.dim {
+		panic(fmt.Sprintf("bspline: Eval out length %d, want %d", len(out), f.dim))
+	}
+	if deriv < 0 {
+		panic(fmt.Sprintf("bspline: negative derivative order %d", deriv))
+	}
+	if t < f.lo {
+		t = f.lo
+	}
+	if t > f.hi {
+		t = f.hi
+	}
+	if deriv == 0 {
+		out[0] = 1
+	} else {
+		out[0] = 0
+	}
+	for h := 1; 2*h-1 < f.dim; h++ {
+		w := float64(h) * f.omega
+		amp := math.Pow(w, float64(deriv))
+		phase := w*(t-f.lo) + float64(deriv)*math.Pi/2 // d/dt sin = sin(·+π/2)
+		out[2*h-1] = amp * math.Sin(phase)
+		if 2*h < f.dim {
+			out[2*h] = amp * math.Cos(phase)
+		}
+	}
+}

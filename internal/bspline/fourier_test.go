@@ -1,0 +1,123 @@
+package bspline
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewFourierValidation(t *testing.T) {
+	if _, err := NewFourier(4, 0, 1); !errors.Is(err, ErrBasis) {
+		t.Fatal("even dim must be rejected")
+	}
+	if _, err := NewFourier(0, 0, 1); !errors.Is(err, ErrBasis) {
+		t.Fatal("dim 0 must be rejected")
+	}
+	if _, err := NewFourier(3, 1, 1); !errors.Is(err, ErrBasis) {
+		t.Fatal("empty domain must be rejected")
+	}
+}
+
+func TestFourierValuesKnown(t *testing.T) {
+	f, err := NewFourier(5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 5)
+	f.Eval(0.25, 0, out)
+	// ω = 2π: basis = [1, sin(π/2), cos(π/2), sin(π), cos(π)].
+	want := []float64{1, 1, 0, 0, -1}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("basis[%d] = %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestFourierDerivativeMatchesFiniteDifference(t *testing.T) {
+	f, err := NewFourier(7, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	d1 := make([]float64, 7)
+	p := make([]float64, 7)
+	m := make([]float64, 7)
+	for _, tt := range []float64{0.3, 0.9, 1.5} {
+		f.Eval(tt, 1, d1)
+		f.Eval(tt+h, 0, p)
+		f.Eval(tt-h, 0, m)
+		for l := 0; l < 7; l++ {
+			fd := (p[l] - m[l]) / (2 * h)
+			if !almostEqual(d1[l], fd, 1e-4*(1+math.Abs(fd))) {
+				t.Fatalf("D1 fourier %d at %g: %g vs fd %g", l, tt, d1[l], fd)
+			}
+		}
+	}
+}
+
+func TestFourierSecondDerivativeSign(t *testing.T) {
+	// D² sin(ωt) = −ω² sin(ωt).
+	f, err := NewFourier(3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := make([]float64, 3)
+	v2 := make([]float64, 3)
+	tt := 0.17
+	f.Eval(tt, 0, v0)
+	f.Eval(tt, 2, v2)
+	omega := 2 * math.Pi
+	if !almostEqual(v2[1], -omega*omega*v0[1], 1e-8) {
+		t.Fatalf("D² sin = %g want %g", v2[1], -omega*omega*v0[1])
+	}
+	if v2[0] != 0 {
+		t.Fatal("derivative of the constant must vanish")
+	}
+}
+
+func TestFourierPenaltyOrthogonality(t *testing.T) {
+	// Distinct harmonics are L²-orthogonal over a full period, so the
+	// q = 0 Gram matrix must be diagonal.
+	f, err := NewFourier(5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := PenaltyMatrix(f, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Dims()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !almostEqual(g.At(i, j), 0, 1e-8) {
+				t.Fatalf("Gram[%d][%d] = %g want 0", i, j, g.At(i, j))
+			}
+		}
+	}
+	// Diagonal: ∫1² = 1, ∫sin² = ∫cos² = 1/2.
+	if !almostEqual(g.At(0, 0), 1, 1e-8) || !almostEqual(g.At(1, 1), 0.5, 1e-8) {
+		t.Fatalf("Gram diagonal = %g, %g", g.At(0, 0), g.At(1, 1))
+	}
+}
+
+func TestFourierDomainAndDim(t *testing.T) {
+	f, err := NewFourier(9, -1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dim() != 9 {
+		t.Fatalf("Dim = %d", f.Dim())
+	}
+	lo, hi := f.Domain()
+	if lo != -1 || hi != 3 {
+		t.Fatalf("Domain = %g,%g", lo, hi)
+	}
+	bps := f.Breakpoints()
+	if bps[0] != -1 || bps[len(bps)-1] != 3 {
+		t.Fatalf("Breakpoints endpoints = %v", bps)
+	}
+}

@@ -1,0 +1,74 @@
+package bspline
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussLegendre returns the n nodes and weights of the Gauss–Legendre
+// quadrature rule on [−1, 1], exact for polynomials of degree 2n−1. Nodes
+// are found by Newton iteration on the Legendre polynomial P_n starting
+// from the Chebyshev-based asymptotic approximation.
+func GaussLegendre(n int) (nodes, weights []float64, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("bspline: gauss-legendre needs n >= 1, got %d: %w", n, ErrBasis)
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	m := (n + 1) / 2
+	for i := 0; i < m; i++ {
+		// Initial guess for the i-th root (descending order).
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			// Evaluate P_n(x) and its derivative by the three-term
+			// recurrence.
+			p0, p1 := 1.0, x
+			for k := 2; k <= n; k++ {
+				p0, p1 = p1, ((2*float64(k)-1)*x*p1-(float64(k)-1)*p0)/float64(k)
+			}
+			if n == 1 {
+				p0, p1 = 1.0, x
+			}
+			pp = float64(n) * (x*p1 - p0) / (x*x - 1)
+			dx := p1 / pp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		w := 2 / ((1 - x*x) * pp * pp)
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	if n%2 == 1 {
+		// The middle node of an odd rule is exactly 0.
+		nodes[n/2] = 0
+	}
+	return nodes, weights, nil
+}
+
+// Integrate approximates ∫ f over [lo, hi] with composite n-point
+// Gauss–Legendre quadrature on the given number of uniform panels.
+func Integrate(f func(float64) float64, lo, hi float64, panels, n int) (float64, error) {
+	if panels < 1 {
+		return 0, fmt.Errorf("bspline: integrate needs >= 1 panel, got %d: %w", panels, ErrBasis)
+	}
+	xs, ws, err := GaussLegendre(n)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	h := (hi - lo) / float64(panels)
+	for p := 0; p < panels; p++ {
+		a := lo + float64(p)*h
+		half := h / 2
+		mid := a + half
+		for i, x := range xs {
+			total += ws[i] * half * f(mid+half*x)
+		}
+	}
+	return total, nil
+}

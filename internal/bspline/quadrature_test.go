@@ -1,0 +1,177 @@
+package bspline
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestGaussLegendreExactForPolynomials(t *testing.T) {
+	// An n-point rule integrates polynomials of degree 2n−1 exactly.
+	for n := 1; n <= 8; n++ {
+		xs, ws, err := GaussLegendre(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for deg := 0; deg <= 2*n-1; deg++ {
+			var got float64
+			for i, x := range xs {
+				got += ws[i] * math.Pow(x, float64(deg))
+			}
+			want := 0.0
+			if deg%2 == 0 {
+				want = 2 / float64(deg+1) // ∫₋₁¹ x^deg dx
+			}
+			if !almostEqual(got, want, 1e-10) {
+				t.Fatalf("n=%d deg=%d: got %g want %g", n, deg, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreWeightsPositiveSymmetric(t *testing.T) {
+	xs, ws, err := GaussLegendre(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wsum float64
+	for i, w := range ws {
+		if w <= 0 {
+			t.Fatalf("weight %d = %g not positive", i, w)
+		}
+		wsum += w
+		if !almostEqual(xs[i], -xs[len(xs)-1-i], 1e-12) {
+			t.Fatalf("nodes not symmetric: %v", xs)
+		}
+	}
+	if !almostEqual(wsum, 2, 1e-12) {
+		t.Fatalf("weights sum to %g want 2", wsum)
+	}
+}
+
+func TestGaussLegendreRejectsNonPositive(t *testing.T) {
+	if _, _, err := GaussLegendre(0); !errors.Is(err, ErrBasis) {
+		t.Fatalf("err = %v want ErrBasis", err)
+	}
+}
+
+func TestIntegrateSin(t *testing.T) {
+	got, err := Integrate(math.Sin, 0, math.Pi, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2, 1e-10) {
+		t.Fatalf("∫sin over [0,π] = %g want 2", got)
+	}
+}
+
+func TestIntegrateRejectsBadPanels(t *testing.T) {
+	if _, err := Integrate(math.Sin, 0, 1, 0, 4); !errors.Is(err, ErrBasis) {
+		t.Fatalf("err = %v want ErrBasis", err)
+	}
+}
+
+func TestPenaltyMatrixAgainstNumericIntegration(t *testing.T) {
+	b, err := NewCubic(6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := PenaltyMatrix(b, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare a few entries against brute-force quadrature of the product
+	// of second derivatives on a fine grid.
+	buf := make([]float64, 6)
+	prod := func(i, j int) func(float64) float64 {
+		return func(tt float64) float64 {
+			b.Eval(tt, 2, buf)
+			return buf[i] * buf[j]
+		}
+	}
+	for _, ij := range [][2]int{{0, 0}, {1, 2}, {3, 3}, {2, 5}} {
+		want, err := Integrate(prod(ij[0], ij[1]), 0, 1, 200, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.At(ij[0], ij[1])
+		if !almostEqual(got, want, 1e-6*(1+math.Abs(want))) {
+			t.Fatalf("R[%d][%d] = %g want %g", ij[0], ij[1], got, want)
+		}
+	}
+}
+
+func TestPenaltyMatrixSymmetricPSD(t *testing.T) {
+	b, err := NewCubic(8, -1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := PenaltyMatrix(b, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := r.Dims()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !almostEqual(r.At(i, j), r.At(j, i), 1e-10) {
+				t.Fatalf("penalty not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// xᵀRx ≥ 0 for a few random x (quadratic form of an integral of squares).
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(trial*n + i))
+		}
+		var quad float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				quad += x[i] * r.At(i, j) * x[j]
+			}
+		}
+		if quad < -1e-10 {
+			t.Fatalf("penalty quadratic form negative: %g", quad)
+		}
+	}
+}
+
+func TestPenaltyMatrixAnnihilatesLinears(t *testing.T) {
+	// The q=2 penalty must vanish on functions with zero second
+	// derivative. The coefficients of f(t)=t are the Greville abscissae.
+	order := 4
+	dim := 7
+	b, err := New(dim, order, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := PenaltyMatrix(b, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knots := b.Knots()
+	grev := make([]float64, dim)
+	for l := 0; l < dim; l++ {
+		var s float64
+		for j := 1; j < order; j++ {
+			s += knots[l+j]
+		}
+		grev[l] = s / float64(order-1)
+	}
+	var quad float64
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			quad += grev[i] * r.At(i, j) * grev[j]
+		}
+	}
+	if !almostEqual(quad, 0, 1e-9) {
+		t.Fatalf("penalty of a linear function = %g want 0", quad)
+	}
+}
+
+func TestPenaltyMatrixRejectsBadNodes(t *testing.T) {
+	b, _ := NewCubic(6, 0, 1)
+	if _, err := PenaltyMatrix(b, 2, 0); !errors.Is(err, ErrBasis) {
+		t.Fatalf("err = %v want ErrBasis", err)
+	}
+}

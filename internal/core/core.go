@@ -1,0 +1,202 @@
+// Package core assembles the paper's method end to end: smooth the raw
+// multivariate functional data with a penalized basis expansion (Sec. 2),
+// map each fitted sample to a univariate geometric representation such as
+// the curvature (Sec. 3), and hand the mapped vectors to a multivariate
+// outlier detector (Sec. 4.2). The Pipeline type is the library's primary
+// public API; package eval adapters and the future-work ensemble of
+// Sec. 5 live here too.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fda"
+	"repro/internal/geometry"
+)
+
+// ErrPipeline reports a mis-configured or unfitted pipeline.
+var ErrPipeline = errors.New("core: invalid pipeline state")
+
+// Detector is the contract a multivariate outlier-detection algorithm
+// must satisfy to terminate a pipeline: unsupervised fitting on feature
+// vectors and batch scoring where higher = more outlying. The
+// implementations in internal/iforest, internal/ocsvm and internal/lof
+// satisfy it.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Fit trains on feature vectors (n × d, no labels).
+	Fit(x [][]float64) error
+	// ScoreBatch returns one outlyingness score per row of x.
+	ScoreBatch(x [][]float64) ([]float64, error)
+}
+
+// Pipeline is the paper's method: Smooth → Map → Detect. Configure it,
+// call Fit with a (possibly contaminated, unlabeled) training dataset,
+// then Score held-out samples. The zero value is not usable: Mapping and
+// Detector are required.
+type Pipeline struct {
+	// Smooth configures the functional approximation of Sec. 2. The zero
+	// value selects the paper's defaults (cubic B-splines, LOOCV).
+	Smooth fda.Options
+	// Mapping is the geometric aggregation of Sec. 3 (e.g.
+	// geometry.Curvature{}).
+	Mapping geometry.Mapping
+	// Detector is the terminal outlier-detection algorithm.
+	Detector Detector
+	// GridSize is the length of the common evaluation grid the paper
+	// evaluates X̃ on; 0 means the maximum sample length in the training
+	// set (the paper keeps m = 85).
+	GridSize int
+	// Standardize z-scores every mapped feature using training statistics
+	// before the detector sees them; recommended for OCSVM.
+	Standardize bool
+
+	fitted    bool
+	gridLo    float64
+	gridHi    float64
+	grid      []float64
+	featMean  []float64
+	featScale []float64
+}
+
+// Validate checks the configuration without fitting.
+func (p *Pipeline) Validate() error {
+	if p.Mapping == nil {
+		return fmt.Errorf("core: pipeline needs a mapping: %w", ErrPipeline)
+	}
+	if p.Detector == nil {
+		return fmt.Errorf("core: pipeline needs a detector: %w", ErrPipeline)
+	}
+	return nil
+}
+
+// Fit smooths the training samples, maps them and trains the detector.
+// Labels on the dataset are ignored: fitting is unsupervised (Sec. 4.2).
+func (p *Pipeline) Fit(train fda.Dataset) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	if dim := train.Samples[0].Dim(); dim < p.Mapping.MinDim() {
+		return fmt.Errorf("core: mapping %s needs p >= %d, data has %d: %w",
+			p.Mapping.Name(), p.Mapping.MinDim(), dim, ErrPipeline)
+	}
+	p.gridLo, p.gridHi = train.Domain()
+	gridSize := p.GridSize
+	if gridSize == 0 {
+		for _, s := range train.Samples {
+			if s.Len() > gridSize {
+				gridSize = s.Len()
+			}
+		}
+	}
+	p.grid = fda.UniformGrid(p.gridLo, p.gridHi, gridSize)
+	feats, err := p.features(train)
+	if err != nil {
+		return err
+	}
+	if p.Standardize {
+		p.featMean, p.featScale = featureStats(feats)
+		applyStandardize(feats, p.featMean, p.featScale)
+	} else {
+		p.featMean, p.featScale = nil, nil
+	}
+	if err := p.Detector.Fit(feats); err != nil {
+		return fmt.Errorf("core: detector fit: %w", err)
+	}
+	p.fitted = true
+	return nil
+}
+
+// features smooths and maps every sample of d on the pipeline grid.
+func (p *Pipeline) features(d fda.Dataset) ([][]float64, error) {
+	opt := p.Smooth
+	if opt.Lo == opt.Hi {
+		opt.Lo, opt.Hi = p.gridLo, p.gridHi
+	}
+	fits, err := fda.FitDataset(d, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: smoothing: %w", err)
+	}
+	feats, err := geometry.MapDataset(fits, p.Mapping, p.grid)
+	if err != nil {
+		return nil, fmt.Errorf("core: mapping: %w", err)
+	}
+	return feats, nil
+}
+
+// Score smooths, maps and scores held-out samples with the fitted
+// detector. Higher scores are more outlying.
+func (p *Pipeline) Score(test fda.Dataset) ([]float64, error) {
+	if !p.fitted {
+		return nil, fmt.Errorf("core: pipeline not fitted: %w", ErrPipeline)
+	}
+	if err := test.Validate(); err != nil {
+		return nil, err
+	}
+	feats, err := p.features(test)
+	if err != nil {
+		return nil, err
+	}
+	if p.featMean != nil {
+		applyStandardize(feats, p.featMean, p.featScale)
+	}
+	scores, err := p.Detector.ScoreBatch(feats)
+	if err != nil {
+		return nil, fmt.Errorf("core: detector score: %w", err)
+	}
+	return scores, nil
+}
+
+// Grid returns the common evaluation grid chosen at Fit time.
+func (p *Pipeline) Grid() []float64 {
+	out := make([]float64, len(p.grid))
+	copy(out, p.grid)
+	return out
+}
+
+// featureStats returns per-column means and scales (standard deviation,
+// floored to 1 when degenerate) over the feature rows.
+func featureStats(x [][]float64) (mean, scale []float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	d := len(x[0])
+	mean = make([]float64, d)
+	scale = make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, row := range x {
+		for j, v := range row {
+			diff := v - mean[j]
+			scale[j] += diff * diff
+		}
+	}
+	for j := range scale {
+		scale[j] = math.Sqrt(scale[j] / float64(n))
+		if scale[j] < 1e-12 {
+			scale[j] = 1
+		}
+	}
+	return mean, scale
+}
+
+func applyStandardize(x [][]float64, mean, scale []float64) {
+	for _, row := range x {
+		for j := range row {
+			row[j] = (row[j] - mean[j]) / scale[j]
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/fda"
+	"repro/internal/geometry"
+	"repro/internal/iforest"
+	"repro/internal/ocsvm"
+)
+
+// Pipeline persistence: a fitted pipeline round-trips through JSON so a
+// model trained once can score new curves in another process. The
+// serializable surface is the built-in one — B-spline smoothing options
+// (custom basis factories cannot be encoded), the registry mapping
+// functions, and the iForest / one-class SVM detectors.
+
+// jsonPipeline is the on-disk form of a fitted pipeline.
+type jsonPipeline struct {
+	Smooth    jsonSmooth   `json:"smooth"`
+	Mapping   jsonMapping  `json:"mapping"`
+	Detector  jsonDetector `json:"detector"`
+	Grid      []float64    `json:"grid"`
+	GridLo    float64      `json:"gridLo"`
+	GridHi    float64      `json:"gridHi"`
+	FeatMean  []float64    `json:"featMean,omitempty"`
+	FeatScale []float64    `json:"featScale,omitempty"`
+}
+
+type jsonSmooth struct {
+	Order        int       `json:"order,omitempty"`
+	Dims         []int     `json:"dims,omitempty"`
+	Lambdas      []float64 `json:"lambdas,omitempty"`
+	PenaltyDeriv int       `json:"penaltyDeriv,omitempty"`
+	Lo           float64   `json:"lo,omitempty"`
+	Hi           float64   `json:"hi,omitempty"`
+	Criterion    int       `json:"criterion,omitempty"`
+}
+
+type jsonMapping struct {
+	Name string `json:"name"`
+	// Params carries the mapping struct's own fields (clamps, shifts);
+	// Stack members recurse.
+	Params  json.RawMessage `json:"params,omitempty"`
+	Members []jsonMapping   `json:"members,omitempty"`
+}
+
+type jsonDetector struct {
+	Name  string          `json:"name"`
+	Model json.RawMessage `json:"model"`
+}
+
+func encodeMapping(m geometry.Mapping) (jsonMapping, error) {
+	if st, ok := m.(geometry.Stack); ok {
+		out := jsonMapping{Name: "stack"}
+		for _, member := range st {
+			jm, err := encodeMapping(member)
+			if err != nil {
+				return jsonMapping{}, err
+			}
+			out.Members = append(out.Members, jm)
+		}
+		return out, nil
+	}
+	if _, ok := geometry.Registry()[m.Name()]; !ok {
+		return jsonMapping{}, fmt.Errorf("core: mapping %q is not serializable: %w", m.Name(), ErrPipeline)
+	}
+	params, err := json.Marshal(m)
+	if err != nil {
+		return jsonMapping{}, fmt.Errorf("core: encode mapping %q: %w", m.Name(), err)
+	}
+	return jsonMapping{Name: m.Name(), Params: params}, nil
+}
+
+func decodeMapping(jm jsonMapping) (geometry.Mapping, error) {
+	if jm.Name == "stack" {
+		st := make(geometry.Stack, 0, len(jm.Members))
+		for _, member := range jm.Members {
+			m, err := decodeMapping(member)
+			if err != nil {
+				return nil, err
+			}
+			st = append(st, m)
+		}
+		if len(st) == 0 {
+			return nil, fmt.Errorf("core: empty stack mapping: %w", ErrPipeline)
+		}
+		return st, nil
+	}
+	unmarshal := func(target geometry.Mapping) (geometry.Mapping, error) {
+		if len(jm.Params) > 0 {
+			if err := json.Unmarshal(jm.Params, target); err != nil {
+				return nil, fmt.Errorf("core: decode mapping %q: %w", jm.Name, err)
+			}
+		}
+		return target, nil
+	}
+	switch jm.Name {
+	case "curvature":
+		m := &geometry.Curvature{}
+		out, err := unmarshal(m)
+		if err != nil {
+			return nil, err
+		}
+		return *out.(*geometry.Curvature), nil
+	case "log-curvature":
+		m := &geometry.LogCurvature{}
+		out, err := unmarshal(m)
+		if err != nil {
+			return nil, err
+		}
+		return *out.(*geometry.LogCurvature), nil
+	case "normalized-curvature":
+		m := &geometry.NormalizedCurvature{}
+		out, err := unmarshal(m)
+		if err != nil {
+			return nil, err
+		}
+		return *out.(*geometry.NormalizedCurvature), nil
+	case "radius":
+		m := &geometry.RadiusOfCurvature{}
+		out, err := unmarshal(m)
+		if err != nil {
+			return nil, err
+		}
+		return *out.(*geometry.RadiusOfCurvature), nil
+	case "speed":
+		return geometry.Speed{}, nil
+	case "signed-curvature":
+		return geometry.SignedCurvature{}, nil
+	case "turning-angle":
+		return geometry.TurningAngle{}, nil
+	case "torsion":
+		return geometry.Torsion{}, nil
+	case "arc-length":
+		return geometry.ArcLength{}, nil
+	case "raw":
+		return geometry.Raw{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown mapping %q: %w", jm.Name, ErrPipeline)
+	}
+}
+
+func encodeDetector(d Detector) (jsonDetector, error) {
+	switch det := d.(type) {
+	case *iforest.Forest:
+		blob, err := json.Marshal(det)
+		if err != nil {
+			return jsonDetector{}, err
+		}
+		return jsonDetector{Name: "ifor", Model: blob}, nil
+	case *ocsvm.Model:
+		blob, err := json.Marshal(det)
+		if err != nil {
+			return jsonDetector{}, err
+		}
+		return jsonDetector{Name: "ocsvm", Model: blob}, nil
+	default:
+		return jsonDetector{}, fmt.Errorf("core: detector %q is not serializable: %w", d.Name(), ErrPipeline)
+	}
+}
+
+func decodeDetector(jd jsonDetector) (Detector, error) {
+	switch jd.Name {
+	case "ifor":
+		f := iforest.New(iforest.Options{})
+		if err := json.Unmarshal(jd.Model, f); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case "ocsvm":
+		m := ocsvm.New(ocsvm.Options{})
+		if err := json.Unmarshal(jd.Model, m); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("core: unknown detector %q: %w", jd.Name, ErrPipeline)
+	}
+}
+
+// SaveJSON writes the fitted pipeline to w. It fails when the pipeline is
+// unfitted or uses non-serializable components (a custom basis factory,
+// mapping or detector).
+func (p *Pipeline) SaveJSON(w io.Writer) error {
+	if !p.fitted {
+		return fmt.Errorf("core: save unfitted pipeline: %w", ErrPipeline)
+	}
+	if p.Smooth.Basis != nil {
+		return fmt.Errorf("core: custom basis factories are not serializable: %w", ErrPipeline)
+	}
+	jm, err := encodeMapping(p.Mapping)
+	if err != nil {
+		return err
+	}
+	jd, err := encodeDetector(p.Detector)
+	if err != nil {
+		return err
+	}
+	out := jsonPipeline{
+		Smooth: jsonSmooth{
+			Order:        p.Smooth.Order,
+			Dims:         p.Smooth.Dims,
+			Lambdas:      p.Smooth.Lambdas,
+			PenaltyDeriv: p.Smooth.PenaltyDeriv,
+			Lo:           p.Smooth.Lo,
+			Hi:           p.Smooth.Hi,
+			Criterion:    int(p.Smooth.Criterion),
+		},
+		Mapping:   jm,
+		Detector:  jd,
+		Grid:      p.grid,
+		GridLo:    p.gridLo,
+		GridHi:    p.gridHi,
+		FeatMean:  p.featMean,
+		FeatScale: p.featScale,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadPipelineJSON restores a fitted pipeline saved with SaveJSON; the
+// result scores new datasets without refitting.
+func LoadPipelineJSON(r io.Reader) (*Pipeline, error) {
+	var in jsonPipeline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode pipeline: %w", err)
+	}
+	if len(in.Grid) == 0 {
+		return nil, fmt.Errorf("core: pipeline blob has no grid: %w", ErrPipeline)
+	}
+	mapping, err := decodeMapping(in.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	det, err := decodeDetector(in.Detector)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		Smooth: fda.Options{
+			Order:        in.Smooth.Order,
+			Dims:         in.Smooth.Dims,
+			Lambdas:      in.Smooth.Lambdas,
+			PenaltyDeriv: in.Smooth.PenaltyDeriv,
+			Lo:           in.Smooth.Lo,
+			Hi:           in.Smooth.Hi,
+			Criterion:    fda.Criterion(in.Smooth.Criterion),
+		},
+		Mapping:     mapping,
+		Detector:    det,
+		GridSize:    len(in.Grid),
+		Standardize: in.FeatMean != nil,
+		fitted:      true,
+		gridLo:      in.GridLo,
+		gridHi:      in.GridHi,
+		grid:        in.Grid,
+		featMean:    in.FeatMean,
+		featScale:   in.FeatScale,
+	}
+	return p, nil
+}

@@ -1,0 +1,335 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestECGShapesAndLabels(t *testing.T) {
+	d, err := ECG(ECGOptions{N: 50, Points: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 50 {
+		t.Fatalf("n = %d want 50", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var outliers int
+	for i, s := range d.Samples {
+		if s.Dim() != 1 || s.Len() != 40 {
+			t.Fatalf("sample %d shape %dx%d want 1x40", i, s.Dim(), s.Len())
+		}
+		outliers += d.Labels[i]
+	}
+	want := int(math.Round(0.35 * 50))
+	if outliers != want {
+		t.Fatalf("outliers = %d want %d", outliers, want)
+	}
+}
+
+func TestECGDefaultsMatchPaper(t *testing.T) {
+	d, err := ECG(ECGOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("default n = %d want 200", d.Len())
+	}
+	if d.Samples[0].Len() != 85 {
+		t.Fatalf("default m = %d want 85 (paper)", d.Samples[0].Len())
+	}
+}
+
+func TestECGDeterministicBySeed(t *testing.T) {
+	a, err := ECG(ECGOptions{N: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ECG(ECGOptions{N: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		for j := range a.Samples[i].Values[0] {
+			if a.Samples[i].Values[0][j] != b.Samples[i].Values[0][j] {
+				t.Fatal("same seed must reproduce identical data")
+			}
+		}
+	}
+	c, err := ECG(ECGOptions{N: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Samples[0].Values[0][0] == c.Samples[0].Values[0][0] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestECGBivariateSquares(t *testing.T) {
+	d, err := ECGBivariate(ECGOptions{N: 10, Points: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Samples {
+		if s.Dim() != 2 {
+			t.Fatalf("dim = %d want 2", s.Dim())
+		}
+		for j := range s.Times {
+			x := s.Values[0][j]
+			if math.Abs(s.Values[1][j]-x*x) > 1e-12 {
+				t.Fatal("second parameter must be the square of the first")
+			}
+		}
+	}
+}
+
+func TestECGValidation(t *testing.T) {
+	if _, err := ECG(ECGOptions{N: 2}); !errors.Is(err, ErrGen) {
+		t.Fatal("tiny N must fail")
+	}
+	if _, err := ECG(ECGOptions{OutlierFraction: 1.2}); !errors.Is(err, ErrGen) {
+		t.Fatal("fraction > 1 must fail")
+	}
+	if _, err := ECG(ECGOptions{Points: 2}); !errors.Is(err, ErrGen) {
+		t.Fatal("tiny grid must fail")
+	}
+}
+
+func TestECGNoNoiseOption(t *testing.T) {
+	d, err := ECG(ECGOptions{N: 6, Points: 85, Noise: -1, Seed: 6, Kinds: []AnomalyKind{AnomalyTremor}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noiseless beats are smooth at the paper's resolution: adjacent
+	// increments stay well below the R amplitude.
+	for _, s := range d.Samples {
+		for j := 1; j < s.Len(); j++ {
+			if math.Abs(s.Values[0][j]-s.Values[0][j-1]) > 0.5 {
+				t.Fatal("noiseless beat has implausible jump")
+			}
+		}
+	}
+}
+
+func TestECGKindsRestriction(t *testing.T) {
+	// With a single kind the abnormal beats must all carry that mechanism;
+	// here tremor injects high-frequency energy measurable via first
+	// differences.
+	d, err := ECG(ECGOptions{N: 40, Points: 60, Noise: -1, Seed: 7, Kinds: []AnomalyKind{AnomalyTremor}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure roughness on the final third of the beat, away from the QRS
+	// complex whose natural sharpness dominates global second differences.
+	rough := func(v []float64) float64 {
+		var s float64
+		for j := 2 * len(v) / 3; j < len(v); j++ {
+			d2 := v[j] - 2*v[j-1] + v[j-2]
+			s += d2 * d2
+		}
+		return s
+	}
+	var in, out []float64
+	for i, s := range d.Samples {
+		r := rough(s.Values[0])
+		if d.Labels[i] == 1 {
+			out = append(out, r)
+		} else {
+			in = append(in, r)
+		}
+	}
+	if stats.Median(out) <= 2*stats.Median(in) {
+		t.Fatalf("tremor beats should be clearly rougher off-QRS: median out %g vs in %g",
+			stats.Median(out), stats.Median(in))
+	}
+}
+
+func TestAnomalyKindStrings(t *testing.T) {
+	names := map[AnomalyKind]string{
+		AnomalyWideQRS:      "wide-qrs",
+		AnomalyDoubleR:      "double-r",
+		AnomalyTremor:       "tremor",
+		AnomalyTNotch:       "t-notch",
+		AnomalySTDepression: "st-depression",
+		AnomalyShiftedR:     "shifted-r",
+		AnomalyEarlyT:       "early-t",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("kind %d = %q want %q", int(k), k.String(), want)
+		}
+	}
+	if AnomalyKind(99).String() == "" {
+		t.Fatal("unknown kind must still stringify")
+	}
+}
+
+func TestDefaultAnomalyKindsExcludePointwiseBeacons(t *testing.T) {
+	for _, k := range DefaultAnomalyKinds() {
+		if k == AnomalySTDepression || k == AnomalyShiftedR || k == AnomalyEarlyT {
+			t.Fatalf("default pool must not contain %s", k)
+		}
+	}
+	if len(DefaultAnomalyKinds()) == 0 {
+		t.Fatal("default pool empty")
+	}
+}
+
+func TestTaxonomyClasses(t *testing.T) {
+	for _, class := range OutlierClasses() {
+		d, err := Taxonomy(TaxonomyOptions{N: 30, Points: 50, Class: class, Seed: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		var outliers int
+		for _, l := range d.Labels {
+			outliers += l
+		}
+		if outliers != 6 { // 0.2 × 30
+			t.Fatalf("%s: outliers = %d want 6", class, outliers)
+		}
+		if d.Samples[0].Dim() != 2 {
+			t.Fatalf("%s: dim = %d want 2", class, d.Samples[0].Dim())
+		}
+	}
+}
+
+func TestTaxonomyValidation(t *testing.T) {
+	if _, err := Taxonomy(TaxonomyOptions{N: 2}); !errors.Is(err, ErrGen) {
+		t.Fatal("tiny N must fail")
+	}
+	if _, err := Taxonomy(TaxonomyOptions{Class: OutlierClass(99)}); !errors.Is(err, ErrGen) {
+		t.Fatal("unknown class must fail")
+	}
+	if _, err := Taxonomy(TaxonomyOptions{OutlierFraction: -0.5}); !errors.Is(err, ErrGen) {
+		t.Fatal("negative fraction must fail")
+	}
+}
+
+func TestTaxonomyClassStrings(t *testing.T) {
+	want := []string{"isolated-magnitude", "isolated-shift", "persistent-shape", "abnormal-correlation", "mixed", "hidden-shape"}
+	for i, c := range OutlierClasses() {
+		if c.String() != want[i] {
+			t.Fatalf("class %d = %q want %q", i, c.String(), want[i])
+		}
+	}
+}
+
+func TestAbnormalCorrelationMarginallyTypical(t *testing.T) {
+	// The abnormal-correlation outliers must stay inside the inlier range
+	// of each coordinate (that is the whole point of the class).
+	d, err := Taxonomy(TaxonomyOptions{N: 60, Points: 80, Class: AbnormalCorrelation, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inLo, inHi float64 = math.Inf(1), math.Inf(-1)
+	for i, s := range d.Samples {
+		if d.Labels[i] == 0 {
+			lo, hi := stats.MinMax(s.Values[1])
+			if lo < inLo {
+				inLo = lo
+			}
+			if hi > inHi {
+				inHi = hi
+			}
+		}
+	}
+	for i, s := range d.Samples {
+		if d.Labels[i] == 1 {
+			lo, hi := stats.MinMax(s.Values[1])
+			if lo < inLo-0.5 || hi > inHi+0.5 {
+				t.Fatalf("correlation outlier %d leaves the marginal envelope [%g,%g]: [%g,%g]", i, inLo, inHi, lo, hi)
+			}
+		}
+	}
+}
+
+func TestFigure1SingleOutlier(t *testing.T) {
+	d := Figure1(Figure1Options{Seed: 10})
+	if d.Len() != 21 {
+		t.Fatalf("n = %d want 21", d.Len())
+	}
+	var outliers int
+	for _, l := range d.Labels {
+		outliers += l
+	}
+	if outliers != 1 {
+		t.Fatalf("outliers = %d want 1", outliers)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, err := ECGBivariate(ECGOptions{N: 6, Points: 12, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round-trip n = %d want %d", got.Len(), d.Len())
+	}
+	for i := range d.Samples {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatal("labels corrupted")
+		}
+		for k := range d.Samples[i].Values {
+			for j := range d.Samples[i].Times {
+				if got.Samples[i].Values[k][j] != d.Samples[i].Values[k][j] {
+					t.Fatal("values corrupted")
+				}
+				if got.Samples[i].Times[j] != d.Samples[i].Times[j] {
+					t.Fatal("times corrupted")
+				}
+			}
+		}
+	}
+}
+
+func TestCSVWithoutLabels(t *testing.T) {
+	d := Figure1(Figure1Options{N: 4, Points: 6, Seed: 12})
+	d.Labels = nil
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labels != nil {
+		t.Fatal("labels invented on read")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("bogus,header\n")); err == nil {
+		t.Fatal("bad header must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("sample,label,param,time,value\n")); !errors.Is(err, ErrGen) {
+		t.Fatal("empty body must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("sample,label,param,time,value\nx,0,0,0,1\n")); err == nil {
+		t.Fatal("bad sample id must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("sample,label,param,time,value\n0,0,0,zero,1\n")); err == nil {
+		t.Fatal("bad time must fail")
+	}
+}

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"math"
+
+	"repro/internal/fda"
+	"repro/internal/stats"
+)
+
+// Figure1Options configures the Fig. 1 generator.
+type Figure1Options struct {
+	// N is the number of curves; 0 means 21 (20 inliers + 1 outlier, as in
+	// the paper's figure).
+	N int
+	// Points is the grid length; 0 means 100.
+	Points int
+	// Seed drives the jitter.
+	Seed int64
+}
+
+// Figure1 reproduces the data of Fig. 1: N bivariate MFD on t ∈ [0, 1]
+// whose inliers trace noisy circles in the (x1, x2) plane while the single
+// shape-persistent outlier (label 1) traces a figure-eight — never extreme
+// in either parameter alone, but geometrically deviant as a path.
+func Figure1(opt Figure1Options) fda.Dataset {
+	n := opt.N
+	if n == 0 {
+		n = 21
+	}
+	m := opt.Points
+	if m == 0 {
+		m = 100
+	}
+	rng := stats.NewRand(opt.Seed, 7)
+	times := fda.UniformGrid(0, 1, m)
+	d := fda.Dataset{Samples: make([]fda.Sample, n), Labels: make([]int, n)}
+	outlierAt := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		amp := 1.8 + 0.1*rng.NormFloat64()
+		phase := 0.05 * rng.NormFloat64()
+		x1 := make([]float64, m)
+		x2 := make([]float64, m)
+		if i == outlierAt {
+			// Figure-eight: x2 runs at twice the angular frequency.
+			for j, t := range times {
+				x1[j] = amp*math.Sin(2*math.Pi*t+phase) + 0.03*rng.NormFloat64()
+				x2[j] = amp*math.Sin(4*math.Pi*t+2*phase) + 0.03*rng.NormFloat64()
+			}
+			d.Labels[i] = 1
+		} else {
+			for j, t := range times {
+				x1[j] = amp*math.Sin(2*math.Pi*t+phase) + 0.03*rng.NormFloat64()
+				x2[j] = amp*math.Cos(2*math.Pi*t+phase) + 0.03*rng.NormFloat64()
+			}
+		}
+		d.Samples[i] = fda.Sample{Times: times, Values: [][]float64{x1, x2}}
+	}
+	return d
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/fda"
+)
+
+// WriteCSV writes a dataset in long format with the header
+// sample,label,param,time,value — one row per measurement. Labels are
+// written as -1 when the dataset carries none.
+func WriteCSV(w io.Writer, d fda.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sample", "label", "param", "time", "value"}); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for i, s := range d.Samples {
+		label := -1
+		if d.Labels != nil {
+			label = d.Labels[i]
+		}
+		for k, vals := range s.Values {
+			for j, t := range s.Times {
+				rec := []string{
+					strconv.Itoa(i),
+					strconv.Itoa(label),
+					strconv.Itoa(k),
+					strconv.FormatFloat(t, 'g', -1, 64),
+					strconv.FormatFloat(vals[j], 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("dataset: write sample %d: %w", i, err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads the long format produced by WriteCSV. Samples may have
+// different measurement grids; rows may arrive in any order. A label of
+// -1 on every row yields a dataset without labels.
+func ReadCSV(r io.Reader) (fda.Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fda.Dataset{}, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) != 5 || header[0] != "sample" {
+		return fda.Dataset{}, fmt.Errorf("dataset: unexpected header %v: %w", header, ErrGen)
+	}
+	type cell struct {
+		t, v float64
+	}
+	type sampleAcc struct {
+		label  int
+		params map[int][]cell
+	}
+	acc := make(map[int]*sampleAcc)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: read row: %w", err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: sample id %q: %w", rec[0], err)
+		}
+		label, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: label %q: %w", rec[1], err)
+		}
+		param, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: param %q: %w", rec[2], err)
+		}
+		t, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: time %q: %w", rec[3], err)
+		}
+		v, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: value %q: %w", rec[4], err)
+		}
+		sa := acc[id]
+		if sa == nil {
+			sa = &sampleAcc{label: label, params: make(map[int][]cell)}
+			acc[id] = sa
+		}
+		sa.params[param] = append(sa.params[param], cell{t, v})
+	}
+	if len(acc) == 0 {
+		return fda.Dataset{}, fmt.Errorf("dataset: empty csv: %w", ErrGen)
+	}
+	ids := make([]int, 0, len(acc))
+	for id := range acc {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	d := fda.Dataset{}
+	anyLabel := false
+	labels := make([]int, 0, len(ids))
+	for _, id := range ids {
+		sa := acc[id]
+		pids := make([]int, 0, len(sa.params))
+		for k := range sa.params {
+			pids = append(pids, k)
+		}
+		sort.Ints(pids)
+		var times []float64
+		values := make([][]float64, 0, len(pids))
+		for pi, k := range pids {
+			cells := sa.params[k]
+			sort.Slice(cells, func(a, b int) bool { return cells[a].t < cells[b].t })
+			ts := make([]float64, len(cells))
+			vs := make([]float64, len(cells))
+			for j, cl := range cells {
+				ts[j] = cl.t
+				vs[j] = cl.v
+			}
+			if pi == 0 {
+				times = ts
+			} else if len(ts) != len(times) {
+				return fda.Dataset{}, fmt.Errorf("dataset: sample %d param %d grid mismatch: %w", id, k, ErrGen)
+			}
+			values = append(values, vs)
+		}
+		s, err := fda.NewSample(times, values)
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: sample %d: %w", id, err)
+		}
+		d.Samples = append(d.Samples, s)
+		labels = append(labels, sa.label)
+		if sa.label >= 0 {
+			anyLabel = true
+		}
+	}
+	if anyLabel {
+		d.Labels = labels
+	}
+	return d, nil
+}

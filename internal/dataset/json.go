@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/fda"
+)
+
+// jsonDataset is the on-disk JSON shape: self-describing and friendlier
+// than the long CSV for programmatic consumers.
+type jsonDataset struct {
+	Samples []jsonSample `json:"samples"`
+	Labels  []int        `json:"labels,omitempty"`
+}
+
+type jsonSample struct {
+	Times  []float64   `json:"times"`
+	Values [][]float64 `json:"values"`
+}
+
+// WriteJSON writes the dataset as a single JSON document.
+func WriteJSON(w io.Writer, d fda.Dataset) error {
+	out := jsonDataset{Samples: make([]jsonSample, len(d.Samples)), Labels: d.Labels}
+	for i, s := range d.Samples {
+		out.Samples[i] = jsonSample{Times: s.Times, Values: s.Values}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("dataset: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON reads a dataset written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (fda.Dataset, error) {
+	var in jsonDataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return fda.Dataset{}, fmt.Errorf("dataset: decode json: %w", err)
+	}
+	d := fda.Dataset{Samples: make([]fda.Sample, len(in.Samples)), Labels: in.Labels}
+	for i, s := range in.Samples {
+		sample, err := fda.NewSample(s.Times, s.Values)
+		if err != nil {
+			return fda.Dataset{}, fmt.Errorf("dataset: json sample %d: %w", i, err)
+		}
+		d.Samples[i] = sample
+	}
+	if err := d.Validate(); err != nil {
+		return fda.Dataset{}, err
+	}
+	return d, nil
+}

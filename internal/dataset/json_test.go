@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	d, err := ECGBivariate(ECGOptions{N: 5, Points: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("n = %d want %d", got.Len(), d.Len())
+	}
+	for i := range d.Samples {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatal("labels corrupted")
+		}
+		for k := range d.Samples[i].Values {
+			for j := range d.Samples[i].Times {
+				if got.Samples[i].Values[k][j] != d.Samples[i].Values[k][j] {
+					t.Fatal("values corrupted")
+				}
+			}
+		}
+	}
+}
+
+func TestJSONWithoutLabels(t *testing.T) {
+	d := Figure1(Figure1Options{N: 3, Points: 5, Seed: 2})
+	d.Labels = nil
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "labels") {
+		t.Fatal("labels key should be omitted when absent")
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labels != nil {
+		t.Fatal("labels invented")
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated json must fail")
+	}
+	// Structurally valid JSON, invalid functional data (non-increasing times).
+	bad := `{"samples":[{"times":[1,0],"values":[[1,2]]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid sample must fail")
+	}
+	// Label length mismatch.
+	bad2 := `{"samples":[{"times":[0,1],"values":[[1,2]]}],"labels":[0,1]}`
+	if _, err := ReadJSON(strings.NewReader(bad2)); err == nil {
+		t.Fatal("label mismatch must fail")
+	}
+}

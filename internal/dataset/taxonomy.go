@@ -1,0 +1,230 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fda"
+	"repro/internal/stats"
+)
+
+// OutlierClass enumerates the functional-outlier taxonomy of Hubert et al.
+// (2015) summarised in Sec. 1.1 of the paper. The taxonomy generator
+// produces bivariate MFD whose outliers belong to exactly one class,
+// which is how the per-class detection ablation isolates each method's
+// blind spots.
+type OutlierClass int
+
+// The taxonomy classes.
+const (
+	// IsolatedMagnitude: a narrow vertical peak at few points t.
+	IsolatedMagnitude OutlierClass = iota
+	// IsolatedShift: a horizontal translation of the curve's features.
+	IsolatedShift
+	// PersistentShape: a deviating shape over many t without extreme
+	// values (the red curve of Fig. 1).
+	PersistentShape
+	// AbnormalCorrelation: each parameter is marginally typical but their
+	// joint relationship w.r.t. t is atypical — the mixed-type situation
+	// depth methods struggle with (Sec. 1.2 issue (3)).
+	AbnormalCorrelation
+	// MixedType combines an isolated and a persistent mechanism.
+	MixedType
+	// HiddenShape uses a phase-diverse inlier bundle (the pointwise
+	// marginal at every t spans the whole amplitude range) and outliers
+	// with doubled frequency: pointwise statistics cannot see them at all
+	// — the cleanest instance of Sec. 1.2 issue (1).
+	HiddenShape
+	numOutlierClasses
+)
+
+// String implements fmt.Stringer.
+func (c OutlierClass) String() string {
+	switch c {
+	case IsolatedMagnitude:
+		return "isolated-magnitude"
+	case IsolatedShift:
+		return "isolated-shift"
+	case PersistentShape:
+		return "persistent-shape"
+	case AbnormalCorrelation:
+		return "abnormal-correlation"
+	case MixedType:
+		return "mixed"
+	case HiddenShape:
+		return "hidden-shape"
+	default:
+		return fmt.Sprintf("OutlierClass(%d)", int(c))
+	}
+}
+
+// OutlierClasses lists every class in order.
+func OutlierClasses() []OutlierClass {
+	out := make([]OutlierClass, numOutlierClasses)
+	for i := range out {
+		out[i] = OutlierClass(i)
+	}
+	return out
+}
+
+// TaxonomyOptions configures the taxonomy generator.
+type TaxonomyOptions struct {
+	// N is the total number of samples; 0 means 150.
+	N int
+	// OutlierFraction is the fraction of outliers; 0 means 0.2.
+	OutlierFraction float64
+	// Points is the grid length m; 0 means 100.
+	Points int
+	// Noise is the white-noise standard deviation; 0 means 0.05, negative
+	// means exactly zero.
+	Noise float64
+	// Class selects the single outlier class to inject.
+	Class OutlierClass
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o TaxonomyOptions) withDefaults() TaxonomyOptions {
+	if o.N == 0 {
+		o.N = 150
+	}
+	if o.OutlierFraction == 0 {
+		o.OutlierFraction = 0.2
+	}
+	if o.Points == 0 {
+		o.Points = 100
+	}
+	switch {
+	case o.Noise == 0:
+		o.Noise = 0.05
+	case o.Noise < 0:
+		o.Noise = 0
+	}
+	return o
+}
+
+// inlierPair draws the base bivariate model: x1 a smooth sinusoid with
+// random phase/amplitude jitter, x2 linearly coupled to x1 with a smooth
+// lag, so the pair traces a consistent path in R².
+func inlierPair(times []float64, rng *rand.Rand, noise float64) ([]float64, []float64) {
+	amp := 1 + 0.1*rng.NormFloat64()
+	phase := 0.1 * rng.NormFloat64()
+	x1 := make([]float64, len(times))
+	x2 := make([]float64, len(times))
+	for j, t := range times {
+		x1[j] = amp*math.Sin(2*math.Pi*t+phase) + noise*rng.NormFloat64()
+		x2[j] = 0.8*amp*math.Cos(2*math.Pi*t+phase) + noise*rng.NormFloat64()
+	}
+	return x1, x2
+}
+
+// Taxonomy generates a bivariate dataset whose outliers all belong to one
+// taxonomy class.
+func Taxonomy(opt TaxonomyOptions) (fda.Dataset, error) {
+	opt = opt.withDefaults()
+	if opt.N < 4 {
+		return fda.Dataset{}, fmt.Errorf("dataset: taxonomy needs N >= 4, got %d: %w", opt.N, ErrGen)
+	}
+	if opt.Class < 0 || opt.Class >= numOutlierClasses {
+		return fda.Dataset{}, fmt.Errorf("dataset: unknown outlier class %d: %w", int(opt.Class), ErrGen)
+	}
+	if opt.OutlierFraction < 0 || opt.OutlierFraction >= 1 {
+		return fda.Dataset{}, fmt.Errorf("dataset: outlier fraction %g outside [0, 1): %w", opt.OutlierFraction, ErrGen)
+	}
+	rng := stats.NewRand(opt.Seed, int(opt.Class)+1)
+	times := fda.UniformGrid(0, 1, opt.Points)
+	nOut := int(math.Round(opt.OutlierFraction * float64(opt.N)))
+	d := fda.Dataset{Samples: make([]fda.Sample, opt.N), Labels: make([]int, opt.N)}
+	for i := 0; i < opt.N; i++ {
+		label := 0
+		var x1, x2 []float64
+		if opt.Class == HiddenShape {
+			freq := 1.0
+			if i < nOut {
+				label = 1
+				freq = 2
+			}
+			x1, x2 = phaseDiversePair(times, freq, rng, opt.Noise)
+		} else {
+			x1, x2 = inlierPair(times, rng, opt.Noise)
+			if i < nOut {
+				label = 1
+				injectTaxonomyOutlier(opt.Class, times, x1, x2, rng)
+			}
+		}
+		d.Samples[i] = fda.Sample{Times: times, Values: [][]float64{x1, x2}}
+		d.Labels[i] = label
+	}
+	perm := rng.Perm(opt.N)
+	shuffled := fda.Dataset{Samples: make([]fda.Sample, opt.N), Labels: make([]int, opt.N)}
+	for i, p := range perm {
+		shuffled.Samples[i] = d.Samples[p]
+		shuffled.Labels[i] = d.Labels[p]
+	}
+	return shuffled, nil
+}
+
+// phaseDiversePair draws the HiddenShape base model: a coupled sinusoid
+// pair with *uniformly random phase*, so the cross-sectional point cloud
+// at every t covers the whole ellipse and pointwise statistics carry no
+// information about the curve's frequency.
+func phaseDiversePair(times []float64, freq float64, rng *rand.Rand, noise float64) ([]float64, []float64) {
+	amp := 1 + 0.1*rng.NormFloat64()
+	phase := 2 * math.Pi * rng.Float64()
+	x1 := make([]float64, len(times))
+	x2 := make([]float64, len(times))
+	for j, t := range times {
+		x1[j] = amp*math.Sin(2*math.Pi*freq*t+phase) + noise*rng.NormFloat64()
+		x2[j] = 0.8*amp*math.Cos(2*math.Pi*freq*t+phase) + noise*rng.NormFloat64()
+	}
+	return x1, x2
+}
+
+// injectTaxonomyOutlier mutates the pair (x1, x2) in place with one
+// mechanism of the requested class.
+func injectTaxonomyOutlier(class OutlierClass, times []float64, x1, x2 []float64, rng *rand.Rand) {
+	switch class {
+	case IsolatedMagnitude:
+		// Narrow peak on one parameter at a random location.
+		center := 0.2 + 0.6*rng.Float64()
+		height := 2.5 + 0.5*rng.Float64()
+		if rng.Intn(2) == 0 {
+			height = -height
+		}
+		target := x1
+		if rng.Intn(2) == 0 {
+			target = x2
+		}
+		for j, t := range times {
+			target[j] += height * gauss(t, center, 0.015)
+		}
+	case IsolatedShift:
+		// Horizontal translation: re-evaluate the base model with a large
+		// phase offset on a sub-interval, ramping in and out smoothly.
+		delta := 0.15 + 0.05*rng.Float64()
+		lo := 0.25 + 0.3*rng.Float64()
+		hi := lo + 0.2
+		for j, t := range times {
+			w := smoothStep(t, lo, 0.02) - smoothStep(t, hi, 0.02)
+			x1[j] += w * (math.Sin(2*math.Pi*(t-delta)) - math.Sin(2*math.Pi*t))
+		}
+	case PersistentShape:
+		// Different frequency: never extreme, wrong shape everywhere.
+		freqFactor := 2.0
+		for j, t := range times {
+			x1[j] += 0.4 * math.Sin(2*math.Pi*freqFactor*2*t)
+			x2[j] += 0.4 * math.Cos(2*math.Pi*freqFactor*2*t)
+		}
+	case AbnormalCorrelation:
+		// Flip the coupling sign: x2 marginally similar (cosine of
+		// reversed phase has the same range) but the joint path runs the
+		// loop backwards.
+		for j, t := range times {
+			x2[j] = -0.8*math.Cos(2*math.Pi*t) + 0.05*rng.NormFloat64()
+		}
+	case MixedType:
+		injectTaxonomyOutlier(IsolatedMagnitude, times, x1, x2, rng)
+		injectTaxonomyOutlier(PersistentShape, times, x1, x2, rng)
+	}
+}

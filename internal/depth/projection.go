@@ -1,0 +1,196 @@
+// Package depth implements the statistical-depth baselines the paper
+// compares against (Sec. 1.2 and 4): the Stahel–Donoho / projection
+// outlyingness (Zuo 2003), the directional outlyingness decomposition of
+// Dai & Genton (2019) ("Dir.out"), the angle-based FUNTA pseudo-depth of
+// Kuhnt & Rehage (2016), and the integral / infimum aggregations of
+// pointwise depths whose weaknesses motivate the paper (issues (1)–(3)).
+//
+// All functional scorers consume MFD samples discretised on a common grid
+// as p×m matrices and return outlyingness scores where higher = more
+// outlying, the convention shared by the detector layer.
+package depth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// ErrDepth reports invalid input to a depth computation.
+var ErrDepth = errors.New("depth: invalid input")
+
+// ErrNotFitted is returned when Score precedes Fit.
+var ErrNotFitted = errors.New("depth: model not fitted")
+
+// ProjectionOptions configures the random-direction approximation of the
+// Stahel–Donoho outlyingness for p > 1.
+type ProjectionOptions struct {
+	// Directions is the number of random unit directions; 0 means 50.
+	// Coordinate axes are always included as well.
+	Directions int
+	// Seed drives the direction draw.
+	Seed int64
+}
+
+// directionSet returns K random unit vectors in R^p plus the p coordinate
+// axes, so the p = 1 exact case and axis-aligned outliers are always
+// covered.
+func directionSet(p int, opt ProjectionOptions) [][]float64 {
+	k := opt.Directions
+	if k <= 0 {
+		k = 50
+	}
+	if p == 1 {
+		return [][]float64{{1}}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	dirs := make([][]float64, 0, k+p)
+	for i := 0; i < p; i++ {
+		axis := make([]float64, p)
+		axis[i] = 1
+		dirs = append(dirs, axis)
+	}
+	for len(dirs) < k+p {
+		u := make([]float64, p)
+		var norm float64
+		for i := range u {
+			u[i] = rng.NormFloat64()
+			norm += u[i] * u[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			continue
+		}
+		for i := range u {
+			u[i] /= norm
+		}
+		dirs = append(dirs, u)
+	}
+	return dirs
+}
+
+// pointwiseReference holds, for one grid point, the per-direction medians
+// and MADs of the training cloud plus its coordinate-wise median (the
+// center Z(t) used by Dir.out's direction vector).
+type pointwiseReference struct {
+	med    []float64 // per direction
+	mad    []float64 // per direction
+	center []float64 // coordinate-wise median, length p
+}
+
+// buildReference projects the training cloud {X_i(t_j)} at each grid point
+// onto every direction and records robust location/scale.
+func buildReference(train [][][]float64, dirs [][]float64) ([]pointwiseReference, error) {
+	n := len(train)
+	if n == 0 {
+		return nil, fmt.Errorf("depth: empty training set: %w", ErrDepth)
+	}
+	p := len(train[0])
+	m := len(train[0][0])
+	for i, s := range train {
+		if len(s) != p {
+			return nil, fmt.Errorf("depth: sample %d has %d parameters, want %d: %w", i, len(s), p, ErrDepth)
+		}
+		for k := range s {
+			if len(s[k]) != m {
+				return nil, fmt.Errorf("depth: sample %d parameter %d has %d points, want %d: %w", i, k, len(s[k]), m, ErrDepth)
+			}
+		}
+	}
+	refs := make([]pointwiseReference, m)
+	proj := make([]float64, n)
+	coord := make([]float64, n)
+	for j := 0; j < m; j++ {
+		ref := pointwiseReference{
+			med:    make([]float64, len(dirs)),
+			mad:    make([]float64, len(dirs)),
+			center: make([]float64, p),
+		}
+		for k := 0; k < p; k++ {
+			for i := 0; i < n; i++ {
+				coord[i] = train[i][k][j]
+			}
+			ref.center[k] = stats.Median(coord)
+		}
+		for d, u := range dirs {
+			for i := 0; i < n; i++ {
+				var s float64
+				for k := 0; k < p; k++ {
+					s += u[k] * train[i][k][j]
+				}
+				proj[i] = s
+			}
+			ref.med[d] = stats.Median(proj)
+			ref.mad[d] = stats.MAD(proj)
+		}
+		refs[j] = ref
+	}
+	return refs, nil
+}
+
+// sdoAt returns the Stahel–Donoho outlyingness of the p-vector x against
+// the reference at one grid point: max over directions of
+// |uᵀx − med| / MAD. Directions with vanishing MAD are skipped unless the
+// point deviates there, in which case the outlyingness is effectively
+// unbounded and a large sentinel is returned.
+func sdoAt(x []float64, ref pointwiseReference, dirs [][]float64) float64 {
+	const sentinel = 1e12
+	var mx float64
+	for d, u := range dirs {
+		var s float64
+		for k, uk := range u {
+			s += uk * x[k]
+		}
+		dev := math.Abs(s - ref.med[d])
+		if ref.mad[d] < 1e-12 {
+			if dev > 1e-9 {
+				return sentinel
+			}
+			continue
+		}
+		if v := dev / ref.mad[d]; v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// SDO computes the Stahel–Donoho outlyingness of every row of points
+// (each a p-vector) against the cloud itself — the building block used in
+// tests and by the pointwise depth aggregations.
+func SDO(points [][]float64, opt ProjectionOptions) ([]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("depth: empty cloud: %w", ErrDepth)
+	}
+	p := len(points[0])
+	// Reuse the functional machinery with m = 1 grid point.
+	train := make([][][]float64, n)
+	for i, pt := range points {
+		if len(pt) != p {
+			return nil, fmt.Errorf("depth: point %d has dim %d, want %d: %w", i, len(pt), p, ErrDepth)
+		}
+		s := make([][]float64, p)
+		for k := 0; k < p; k++ {
+			s[k] = []float64{pt[k]}
+		}
+		train[i] = s
+	}
+	dirs := directionSet(p, opt)
+	refs, err := buildReference(train, dirs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i, pt := range points {
+		out[i] = sdoAt(pt, refs[0], dirs)
+	}
+	return out, nil
+}
+
+// ProjectionDepth converts an SDO value to the projection depth
+// PD = 1/(1 + SDO) ∈ (0, 1].
+func ProjectionDepth(sdo float64) float64 { return 1 / (1 + sdo) }

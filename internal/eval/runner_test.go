@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/fda"
+	"repro/internal/stats"
+)
+
+// meanScoreMethod is a deterministic test method: the outlyingness of a
+// test sample is the absolute mean of its first parameter (so datasets
+// whose outliers have shifted means get perfect AUC).
+type meanScoreMethod struct{ name string }
+
+func (m meanScoreMethod) Name() string { return m.name }
+
+func (m meanScoreMethod) Run(train, test fda.Dataset, seed int64) ([]float64, error) {
+	out := make([]float64, test.Len())
+	for i, s := range test.Samples {
+		out[i] = stats.Mean(s.Values[0])
+	}
+	return out, nil
+}
+
+// failingMethod always errors, to exercise error propagation.
+type failingMethod struct{}
+
+func (failingMethod) Name() string { return "fail" }
+func (failingMethod) Run(train, test fda.Dataset, seed int64) ([]float64, error) {
+	return nil, fmt.Errorf("boom")
+}
+
+// shiftDataset builds a labeled dataset whose outliers are mean-shifted.
+func shiftDataset(n int, frac float64) fda.Dataset {
+	d := fda.Dataset{}
+	nOut := int(frac * float64(n))
+	for i := 0; i < n; i++ {
+		v := 0.0
+		label := 0
+		if i < nOut {
+			v = 5
+			label = 1
+		}
+		d.Samples = append(d.Samples, fda.Sample{
+			Times:  []float64{0, 1, 2},
+			Values: [][]float64{{v, v + 0.1, v - 0.1}},
+		})
+		d.Labels = append(d.Labels, label)
+	}
+	return d
+}
+
+func TestRunExperimentPerfectMethod(t *testing.T) {
+	d := shiftDataset(60, 0.3)
+	sums, err := RunExperiment(d, []Method{meanScoreMethod{"mean"}},
+		[]Condition{{Contamination: 0.1, TrainSize: 30}},
+		ExperimentOptions{Repetitions: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d want 1", len(sums))
+	}
+	s := sums[0]
+	if s.MeanAUC != 1 {
+		t.Fatalf("mean AUC = %g want 1 (separable data)", s.MeanAUC)
+	}
+	if s.StdAUC != 0 {
+		t.Fatalf("std = %g want 0", s.StdAUC)
+	}
+	if len(s.AUCs) != 5 {
+		t.Fatalf("reps recorded = %d want 5", len(s.AUCs))
+	}
+}
+
+func TestRunExperimentDeterministicAcrossParallelism(t *testing.T) {
+	d := shiftDataset(60, 0.3)
+	run := func(parallel int) []Summary {
+		sums, err := RunExperiment(d, []Method{meanScoreMethod{"mean"}},
+			[]Condition{{Contamination: 0.1, TrainSize: 30}, {Contamination: 0.2, TrainSize: 30}},
+			ExperimentOptions{Repetitions: 4, Seed: 7, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	a := run(1)
+	b := run(4)
+	for i := range a {
+		if len(a[i].AUCs) != len(b[i].AUCs) {
+			t.Fatal("repetition counts differ across parallelism")
+		}
+		for j := range a[i].AUCs {
+			if a[i].AUCs[j] != b[i].AUCs[j] {
+				t.Fatal("per-rep AUCs differ across parallelism: scheduling leaked into results")
+			}
+		}
+	}
+}
+
+func TestRunExperimentOrdering(t *testing.T) {
+	d := shiftDataset(60, 0.3)
+	conds := []Condition{{Contamination: 0.05, TrainSize: 30}, {Contamination: 0.2, TrainSize: 30}}
+	methods := []Method{meanScoreMethod{"a"}, meanScoreMethod{"b"}}
+	sums, err := RunExperiment(d, methods, conds, ExperimentOptions{Repetitions: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []struct {
+		method string
+		c      float64
+	}{{"a", 0.05}, {"b", 0.05}, {"a", 0.2}, {"b", 0.2}}
+	for i, w := range wantOrder {
+		if sums[i].Method != w.method || sums[i].Contamination != w.c {
+			t.Fatalf("summary %d = (%s, %g) want (%s, %g)", i, sums[i].Method, sums[i].Contamination, w.method, w.c)
+		}
+	}
+}
+
+func TestRunExperimentErrorPropagation(t *testing.T) {
+	d := shiftDataset(40, 0.3)
+	_, err := RunExperiment(d, []Method{failingMethod{}},
+		[]Condition{{Contamination: 0.1, TrainSize: 20}},
+		ExperimentOptions{Repetitions: 2, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v want boom", err)
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	d := shiftDataset(40, 0.3)
+	noLabels := fda.Dataset{Samples: d.Samples}
+	if _, err := RunExperiment(noLabels, []Method{meanScoreMethod{"m"}},
+		[]Condition{{Contamination: 0.1, TrainSize: 20}}, ExperimentOptions{}); !errors.Is(err, ErrEval) {
+		t.Fatal("missing labels must fail")
+	}
+	if _, err := RunExperiment(d, nil,
+		[]Condition{{Contamination: 0.1, TrainSize: 20}}, ExperimentOptions{}); !errors.Is(err, ErrEval) {
+		t.Fatal("no methods must fail")
+	}
+	if _, err := RunExperiment(d, []Method{meanScoreMethod{"m"}}, nil, ExperimentOptions{}); !errors.Is(err, ErrEval) {
+		t.Fatal("no conditions must fail")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	s := FormatTable([]Summary{{
+		Method: "iFor(Curvmap)", Contamination: 0.05, TrainSize: 100,
+		MeanAUC: 0.93, StdAUC: 0.02, AUCs: make([]float64, 50),
+	}})
+	if !strings.Contains(s, "iFor(Curvmap)") || !strings.Contains(s, "0.9300") || !strings.Contains(s, "50") {
+		t.Fatalf("table missing fields:\n%s", s)
+	}
+}

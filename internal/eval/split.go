@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fda"
+)
+
+// Split is one random train/test partition with a controlled training
+// contamination, the unit of repetition in Sec. 4.1.
+type Split struct {
+	TrainIdx []int
+	TestIdx  []int
+}
+
+// MakeSplit draws a training set of size trainSize containing
+// round(c·trainSize) outliers chosen uniformly at random; every remaining
+// sample goes to the test set. It errors when either side would miss a
+// class entirely (AUC would be undefined).
+func MakeSplit(labels []int, trainSize int, c float64, rng *rand.Rand) (Split, error) {
+	n := len(labels)
+	if trainSize <= 0 || trainSize >= n {
+		return Split{}, fmt.Errorf("eval: train size %d out of range (0, %d): %w", trainSize, n, ErrEval)
+	}
+	if c < 0 || c >= 1 {
+		return Split{}, fmt.Errorf("eval: contamination %g outside [0, 1): %w", c, ErrEval)
+	}
+	var outliers, inliers []int
+	for i, l := range labels {
+		switch l {
+		case 1:
+			outliers = append(outliers, i)
+		case 0:
+			inliers = append(inliers, i)
+		default:
+			return Split{}, fmt.Errorf("eval: label %d is not 0/1: %w", l, ErrEval)
+		}
+	}
+	trainOut := int(math.Round(c * float64(trainSize)))
+	trainIn := trainSize - trainOut
+	if trainOut > len(outliers) {
+		return Split{}, fmt.Errorf("eval: need %d training outliers, have %d: %w", trainOut, len(outliers), ErrEval)
+	}
+	if trainIn > len(inliers) {
+		return Split{}, fmt.Errorf("eval: need %d training inliers, have %d: %w", trainIn, len(inliers), ErrEval)
+	}
+	if len(outliers)-trainOut == 0 || len(inliers)-trainIn == 0 {
+		return Split{}, fmt.Errorf("eval: test set would miss a class (outliers left %d, inliers left %d): %w",
+			len(outliers)-trainOut, len(inliers)-trainIn, ErrEval)
+	}
+	rng.Shuffle(len(outliers), func(i, j int) { outliers[i], outliers[j] = outliers[j], outliers[i] })
+	rng.Shuffle(len(inliers), func(i, j int) { inliers[i], inliers[j] = inliers[j], inliers[i] })
+	sp := Split{}
+	sp.TrainIdx = append(sp.TrainIdx, outliers[:trainOut]...)
+	sp.TrainIdx = append(sp.TrainIdx, inliers[:trainIn]...)
+	sp.TestIdx = append(sp.TestIdx, outliers[trainOut:]...)
+	sp.TestIdx = append(sp.TestIdx, inliers[trainIn:]...)
+	rng.Shuffle(len(sp.TrainIdx), func(i, j int) { sp.TrainIdx[i], sp.TrainIdx[j] = sp.TrainIdx[j], sp.TrainIdx[i] })
+	rng.Shuffle(len(sp.TestIdx), func(i, j int) { sp.TestIdx[i], sp.TestIdx[j] = sp.TestIdx[j], sp.TestIdx[i] })
+	return sp, nil
+}
+
+// Apply materialises the split against a dataset.
+func (s Split) Apply(d fda.Dataset) (train, test fda.Dataset) {
+	return d.Subset(s.TrainIdx), d.Subset(s.TestIdx)
+}

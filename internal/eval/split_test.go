@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fda"
+)
+
+func labelVec(nOut, nIn int) []int {
+	labels := make([]int, 0, nOut+nIn)
+	for i := 0; i < nOut; i++ {
+		labels = append(labels, 1)
+	}
+	for i := 0; i < nIn; i++ {
+		labels = append(labels, 0)
+	}
+	return labels
+}
+
+func TestMakeSplitExactContamination(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	labels := labelVec(60, 140)
+	sp, err := MakeSplit(labels, 100, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.TrainIdx) != 100 {
+		t.Fatalf("train size = %d want 100", len(sp.TrainIdx))
+	}
+	var trainOut int
+	for _, i := range sp.TrainIdx {
+		if labels[i] == 1 {
+			trainOut++
+		}
+	}
+	if trainOut != 20 {
+		t.Fatalf("train outliers = %d want 20", trainOut)
+	}
+	if len(sp.TestIdx) != 100 {
+		t.Fatalf("test size = %d want 100", len(sp.TestIdx))
+	}
+}
+
+func TestMakeSplitDisjointCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := labelVec(30, 70)
+		sp, err := MakeSplit(labels, 50, 0.1, rng)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]int)
+		for _, i := range sp.TrainIdx {
+			seen[i]++
+		}
+		for _, i := range sp.TestIdx {
+			seen[i]++
+		}
+		if len(seen) != 100 {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeSplitTestKeepsBothClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := labelVec(20, 80)
+	sp, err := MakeSplit(labels, 50, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg int
+	for _, i := range sp.TestIdx {
+		if labels[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("test set missing a class: pos=%d neg=%d", pos, neg)
+	}
+}
+
+func TestMakeSplitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	labels := labelVec(5, 20)
+	if _, err := MakeSplit(labels, 0, 0.1, rng); !errors.Is(err, ErrEval) {
+		t.Fatal("train size 0 must fail")
+	}
+	if _, err := MakeSplit(labels, 25, 0.1, rng); !errors.Is(err, ErrEval) {
+		t.Fatal("train size = n must fail")
+	}
+	if _, err := MakeSplit(labels, 10, -0.1, rng); !errors.Is(err, ErrEval) {
+		t.Fatal("negative contamination must fail")
+	}
+	// Requesting more outliers than exist.
+	if _, err := MakeSplit(labels, 20, 0.5, rng); !errors.Is(err, ErrEval) {
+		t.Fatal("insufficient outliers must fail")
+	}
+	// Consuming every outlier leaves none for the test set.
+	if _, err := MakeSplit(labelVec(2, 20), 20, 0.1, rng); !errors.Is(err, ErrEval) {
+		t.Fatal("empty test class must fail")
+	}
+	if _, err := MakeSplit([]int{0, 2, 1}, 2, 0, rng); !errors.Is(err, ErrEval) {
+		t.Fatal("non-binary labels must fail")
+	}
+}
+
+func TestSplitApply(t *testing.T) {
+	mk := func(v float64) fda.Sample {
+		return fda.Sample{Times: []float64{0, 1}, Values: [][]float64{{v, v}}}
+	}
+	d := fda.Dataset{
+		Samples: []fda.Sample{mk(0), mk(1), mk(2), mk(3)},
+		Labels:  []int{0, 1, 0, 1},
+	}
+	sp := Split{TrainIdx: []int{0, 1}, TestIdx: []int{2, 3}}
+	train, test := sp.Apply(d)
+	if train.Len() != 2 || test.Len() != 2 {
+		t.Fatal("apply sizes wrong")
+	}
+	if train.Labels[1] != 1 || test.Labels[0] != 0 {
+		t.Fatal("labels misaligned after Apply")
+	}
+	if test.Samples[1].Values[0][0] != 3 {
+		t.Fatal("samples misaligned after Apply")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunDirOutDecomposition(t *testing.T) {
+	rows, err := RunDirOutDecomposition(AblationOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d want 4 (2 classes × 2 groups)", len(rows))
+	}
+	byKey := map[string]DirOutDecompRow{}
+	for _, r := range rows {
+		byKey[r.Class.String()+"/"+r.Group] = r
+	}
+	// Isolated magnitude: outliers elevate ‖MO‖².
+	if byKey["isolated-magnitude/outlier"].MedianMO2 <= 10*byKey["isolated-magnitude/inlier"].MedianMO2 {
+		t.Fatalf("isolated outliers should elevate ‖MO‖²: %+v", rows)
+	}
+	// Persistent shape: VO separates, ‖MO‖² barely moves — the Dai–Genton
+	// classification signal.
+	in := byKey["persistent-shape/inlier"]
+	out := byKey["persistent-shape/outlier"]
+	if out.MedianVO <= 2*in.MedianVO {
+		t.Fatalf("shape outliers should elevate VO: in %+v out %+v", in, out)
+	}
+	if out.MedianMO2 > 10*in.MedianMO2 {
+		t.Fatalf("shape outliers should not move ‖MO‖² much: in %+v out %+v", in, out)
+	}
+	if !strings.Contains(FormatDirOutDecomposition(rows), "persistent-shape") {
+		t.Fatal("format output missing class")
+	}
+}
+
+func TestRunMappingAblationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mapping ablation skipped in -short mode")
+	}
+	// Restrict to one class and few repetitions: verifies plumbing, not
+	// statistics.
+	rows, err := runMappingAblationForClasses(
+		AblationOptions{Repetitions: 2, Seed: 1},
+		[]dataset.OutlierClass{dataset.PersistentShape},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ablationMappings()) {
+		t.Fatalf("rows = %d want %d", len(rows), len(ablationMappings()))
+	}
+	if !strings.Contains(FormatMappingAblation(rows), "persistent-shape") {
+		t.Fatal("format output missing class")
+	}
+}
+
+func TestRunDepthIssuesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depth issues skipped in -short mode")
+	}
+	rows, err := runDepthIssuesForClasses(
+		AblationOptions{Repetitions: 2, Seed: 1},
+		[]dataset.OutlierClass{dataset.IsolatedMagnitude},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(depthIssueMethods()) {
+		t.Fatalf("rows = %d want %d", len(rows), len(depthIssueMethods()))
+	}
+	if !strings.Contains(FormatDepthIssues(rows), "IntDepth") {
+		t.Fatal("format output missing method")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	res, err := RunFig1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data.Len() != 21 {
+		t.Fatalf("fig1 n = %d want 21", res.Data.Len())
+	}
+	if res.OutlierIndex < 0 {
+		t.Fatal("outlier index not found")
+	}
+	// The figure-eight outlier must have the highest mean curvature — the
+	// quantitative counterpart of the red curve standing out in Fig. 1.
+	maxIdx := 0
+	for i, v := range res.MeanCurvature {
+		if v > res.MeanCurvature[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx != res.OutlierIndex {
+		t.Fatalf("max mean curvature at %d, outlier at %d", maxIdx, res.OutlierIndex)
+	}
+	if !strings.Contains(res.FormatFig1(), "shape-persistent outlier") {
+		t.Fatal("formatted fig1 must mark the outlier")
+	}
+}
+
+func TestRunFig2EllipseCurvature(t *testing.T) {
+	pts, err := RunFig2(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 40 {
+		t.Fatalf("points = %d want 40", len(pts))
+	}
+	// Ellipse with a = 2, b = 0.8: κ ranges between b/a² = 0.2 and
+	// a/b² = 3.125; the endpoints of the parameter (t = 0) sit at the
+	// flat-side maximum curvature.
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.Kappa < lo {
+			lo = p.Kappa
+		}
+		if p.Kappa > hi {
+			hi = p.Kappa
+		}
+		if p.Kappa > 0 && math.Abs(p.Radius*p.Kappa-1) > 1e-9 {
+			t.Fatal("radius must be 1/kappa")
+		}
+	}
+	if math.Abs(lo-0.2) > 0.05 {
+		t.Fatalf("min curvature %g want ≈0.2", lo)
+	}
+	if math.Abs(hi-3.125) > 0.35 {
+		t.Fatalf("max curvature %g want ≈3.125", hi)
+	}
+	if !strings.Contains(FormatFig2(pts), "kappa") {
+		t.Fatal("formatted fig2 missing header")
+	}
+}
+
+func TestFig3Methods(t *testing.T) {
+	ms := Fig3Methods()
+	want := []string{"Dir.out", "FUNTA", "iFor(Curvmap)", "OCSVM(Curvmap)"}
+	if len(ms) != len(want) {
+		t.Fatalf("methods = %d want %d", len(ms), len(want))
+	}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Fatalf("method %d = %q want %q", i, m.Name(), want[i])
+		}
+	}
+}
+
+func TestFilterMethods(t *testing.T) {
+	ms, err := filterMethods(Fig3Methods(), []string{"FUNTA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Name() != "FUNTA" {
+		t.Fatalf("filtered = %v", ms)
+	}
+	if _, err := filterMethods(Fig3Methods(), []string{"nope"}); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+}
+
+func TestRunFig3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 smoke test skipped in -short mode")
+	}
+	sums, err := RunFig3(Fig3Options{
+		N:              80,
+		Repetitions:    2,
+		Contaminations: []float64{0.1},
+		Methods:        []string{"FUNTA", "iFor(Curvmap)"},
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d want 2", len(sums))
+	}
+	for _, s := range sums {
+		if math.IsNaN(s.MeanAUC) || s.MeanAUC < 0.4 {
+			t.Fatalf("%s mean AUC = %g", s.Method, s.MeanAUC)
+		}
+		if len(s.AUCs) != 2 {
+			t.Fatalf("%s reps = %d want 2", s.Method, len(s.AUCs))
+		}
+	}
+}
+
+func TestRunEnsembleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble smoke test skipped in -short mode")
+	}
+	res, err := RunEnsemble(AblationOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnsembleAUC <= 0.5 {
+		t.Fatalf("ensemble AUC = %g", res.EnsembleAUC)
+	}
+	if len(res.MemberAUC) != 3 {
+		t.Fatalf("member AUCs = %d want 3", len(res.MemberAUC))
+	}
+	if !strings.Contains(FormatEnsemble(res), "ensemble") {
+		t.Fatal("formatted ensemble output wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/depth"
+	"repro/internal/eval"
+	"repro/internal/geometry"
+	"repro/internal/iforest"
+)
+
+// DepthIssueRow is one (outlier class, method) cell of the Sec. 1.2
+// demonstration.
+type DepthIssueRow struct {
+	Class   dataset.OutlierClass
+	Method  string
+	MeanAUC float64
+	StdAUC  float64
+}
+
+// depthIssueMethods are the methods whose contrasting behaviour
+// substantiates the three issues of Sec. 1.2:
+//
+//	(1) integral-aggregated pointwise depths under-react to persistent
+//	    shape outliers — unless the data is augmented with derivative
+//	    channels, the costly work-around;
+//	(2) the integral masks isolated outliers, the infimum repairs it;
+//	(3) abnormal correlation between parameters defeats marginal depths
+//	    (FM, MBD) and is where the geometric representation shines.
+func depthIssueMethods() []eval.Method {
+	return []eval.Method{
+		core.DepthMethod{
+			MethodName: "FM",
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewFraimanMuniz(), nil
+			},
+		},
+		core.DepthMethod{
+			MethodName: "MBD",
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewBandDepth(), nil
+			},
+		},
+		core.DepthMethod{
+			MethodName: "MFHD",
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewMFHD(depth.ProjectionOptions{Directions: 30, Seed: seed}), nil
+			},
+		},
+		core.DepthMethod{
+			MethodName: "IntDepth(integral)",
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewIntegratedDepth(depth.Integral, depth.ProjectionOptions{Directions: 30, Seed: seed}), nil
+			},
+		},
+		core.DepthMethod{
+			MethodName: "IntDepth(infimum)",
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewIntegratedDepth(depth.Infimum, depth.ProjectionOptions{Directions: 30, Seed: seed}), nil
+			},
+		},
+		core.DerivAugmentedDepthMethod{
+			MethodName: "IntDepth(integral)+D1D2",
+			Orders:     []int{1, 2},
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewIntegratedDepth(depth.Integral, depth.ProjectionOptions{Directions: 30, Seed: seed}), nil
+			},
+		},
+		core.DepthMethod{
+			MethodName: "FUNTA",
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewFUNTA(nil), nil
+			},
+		},
+		core.DepthMethod{
+			MethodName: "Dir.out",
+			Build: func(seed int64) (core.FunctionalScorer, error) {
+				return depth.NewDirOut(depth.ProjectionOptions{Directions: 30, Seed: seed}), nil
+			},
+		},
+		core.PipelineMethod{
+			MethodName: "iFor(Curvmap)",
+			Build: func(seed int64) (*core.Pipeline, error) {
+				return CurvmapPipeline(iforest.New(iforest.Options{Trees: 300, SampleSize: 64, Seed: seed})), nil
+			},
+		},
+		core.PipelineMethod{
+			MethodName: "iFor(Curv+Speed)",
+			Build: func(seed int64) (*core.Pipeline, error) {
+				return &core.Pipeline{
+					Mapping:     geometry.Stack{geometry.LogCurvature{}, geometry.Speed{}},
+					Detector:    iforest.New(iforest.Options{Trees: 300, SampleSize: 64, Seed: seed}),
+					Standardize: true,
+				}, nil
+			},
+		},
+	}
+}
+
+// RunDepthIssues evaluates the depth family and the geometric pipeline on
+// the three taxonomy classes that exhibit the issues of Sec. 1.2.
+func RunDepthIssues(opt AblationOptions) ([]DepthIssueRow, error) {
+	return runDepthIssuesForClasses(opt, []dataset.OutlierClass{
+		dataset.IsolatedMagnitude, dataset.PersistentShape,
+		dataset.HiddenShape, dataset.AbnormalCorrelation,
+	})
+}
+
+// runDepthIssuesForClasses is RunDepthIssues restricted to the given
+// classes (tests use a single class).
+func runDepthIssuesForClasses(opt AblationOptions, classes []dataset.OutlierClass) ([]DepthIssueRow, error) {
+	var rows []DepthIssueRow
+	for _, class := range classes {
+		d, err := dataset.Taxonomy(dataset.TaxonomyOptions{Class: class, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		conds := []eval.Condition{{Contamination: 0.1, TrainSize: d.Len() / 2}}
+		sums, err := eval.RunExperiment(d, depthIssueMethods(), conds, eval.ExperimentOptions{
+			Repetitions: opt.reps(), Seed: opt.Seed, Parallel: opt.Parallel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: depth issues class %s: %w", class, err)
+		}
+		for _, s := range sums {
+			rows = append(rows, DepthIssueRow{Class: class, Method: s.Method, MeanAUC: s.MeanAUC, StdAUC: s.StdAUC})
+		}
+	}
+	return rows, nil
+}
+
+// FormatDepthIssues renders the Sec. 1.2 demonstration as a table.
+func FormatDepthIssues(rows []DepthIssueRow) string {
+	out := fmt.Sprintf("%-22s %-26s %10s %10s\n", "outlierClass", "method", "meanAUC", "stdAUC")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-22s %-26s %10.4f %10.4f\n", r.Class, r.Method, r.MeanAUC, r.StdAUC)
+	}
+	return out
+}

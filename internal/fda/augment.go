@@ -1,0 +1,46 @@
+package fda
+
+import "fmt"
+
+// AugmentWithDerivatives returns a dataset where every sample gains its
+// smoothed derivative curves of the requested orders as supplementary
+// parameters — the classical work-around the paper discusses in Sec. 1.2
+// (issue (1)): depth methods blind to persistent shape outliers can be fed
+// D¹x, D²x as extra channels, at the price of more computation and a more
+// complex analysis. It exists here so that the trade-off can be measured
+// against the geometric mapping (cmd/mfodbench -exp depth-issues).
+//
+// Each sample is smoothed with opt and the derivatives are evaluated on
+// the sample's own measurement grid.
+func AugmentWithDerivatives(d Dataset, opt Options, orders []int) (Dataset, error) {
+	if err := d.Validate(); err != nil {
+		return Dataset{}, err
+	}
+	if len(orders) == 0 {
+		return Dataset{}, fmt.Errorf("fda: no derivative orders requested: %w", ErrData)
+	}
+	for _, q := range orders {
+		if q < 1 {
+			return Dataset{}, fmt.Errorf("fda: derivative order %d < 1: %w", q, ErrData)
+		}
+	}
+	if opt.Lo == opt.Hi {
+		opt.Lo, opt.Hi = d.Domain()
+	}
+	out := Dataset{Samples: make([]Sample, d.Len()), Labels: d.Labels}
+	for i, s := range d.Samples {
+		fit, err := FitSample(s, opt)
+		if err != nil {
+			return Dataset{}, fmt.Errorf("fda: derivative augment sample %d: %w", i, err)
+		}
+		vals := make([][]float64, 0, s.Dim()*(1+len(orders)))
+		vals = append(vals, s.Values...)
+		for _, q := range orders {
+			for k := 0; k < s.Dim(); k++ {
+				vals = append(vals, fit.Params[k].EvalGrid(s.Times, q))
+			}
+		}
+		out.Samples[i] = Sample{Times: s.Times, Values: vals}
+	}
+	return out, nil
+}

@@ -1,0 +1,358 @@
+package geometry
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fda"
+)
+
+// fitCircle returns a fitted bivariate sample tracing a circle of the
+// given radius, optionally rotated by theta and translated by (dx, dy).
+func fitPath(t *testing.T, m int, f func(tt float64) (x, y float64)) *fda.Fit {
+	t.Helper()
+	ts := fda.UniformGrid(0, 1, m)
+	x := make([]float64, m)
+	y := make([]float64, m)
+	for i, tt := range ts {
+		x[i], y[i] = f(tt)
+	}
+	s, err := fda.NewSample(ts, [][]float64{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := fda.FitSample(s, fda.Options{Dims: []int{20}, Lambdas: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fit
+}
+
+func circle(r, theta, dx, dy float64) func(float64) (float64, float64) {
+	return func(tt float64) (float64, float64) {
+		a := 2*math.Pi*tt + 0.3
+		x := r * math.Cos(a)
+		y := r * math.Sin(a)
+		// Rotate and translate.
+		xr := x*math.Cos(theta) - y*math.Sin(theta) + dx
+		yr := x*math.Sin(theta) + y*math.Cos(theta) + dy
+		return xr, yr
+	}
+}
+
+func interior(grid []float64) []float64 {
+	var out []float64
+	for _, tt := range grid {
+		if tt > 0.1 && tt < 0.9 {
+			out = append(out, tt)
+		}
+	}
+	return out
+}
+
+func TestCurvatureOfCircle(t *testing.T) {
+	fit := fitPath(t, 120, circle(2, 0, 0, 0))
+	grid := interior(fda.UniformGrid(0, 1, 60))
+	kappa, err := Curvature{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range kappa {
+		if math.Abs(k-0.5) > 0.03 {
+			t.Fatalf("kappa[%d] = %g want 0.5 (circle radius 2)", i, k)
+		}
+	}
+}
+
+// Property: curvature is invariant under rotation and translation of the
+// path (a Euclidean invariant).
+func TestCurvatureEuclideanInvarianceProperty(t *testing.T) {
+	base := fitPath(t, 100, circle(1.5, 0, 0, 0))
+	grid := interior(fda.UniformGrid(0, 1, 40))
+	kBase, err := Curvature{}.Map(base, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		theta := 2 * math.Pi * rng.Float64()
+		dx, dy := 3*rng.NormFloat64(), 3*rng.NormFloat64()
+		moved := fitPath(t, 100, circle(1.5, theta, dx, dy))
+		kMoved, err := Curvature{}.Map(moved, grid)
+		if err != nil {
+			return false
+		}
+		for i := range kBase {
+			if math.Abs(kBase[i]-kMoved[i]) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurvatureOfLineIsZero(t *testing.T) {
+	fit := fitPath(t, 60, func(tt float64) (float64, float64) { return tt, 2 * tt })
+	grid := interior(fda.UniformGrid(0, 1, 30))
+	kappa, err := Curvature{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range kappa {
+		if k > 1e-3 {
+			t.Fatalf("line curvature[%d] = %g want ~0", i, k)
+		}
+	}
+}
+
+func TestCurvatureClampsSpikes(t *testing.T) {
+	// A path with a cusp (speed → 0) must stay below the configured Max.
+	fit := fitPath(t, 120, func(tt float64) (float64, float64) {
+		u := tt - 0.5
+		return u * u, u * u * u // cusp-like at u = 0
+	})
+	grid := fda.UniformGrid(0, 1, 85)
+	kappa, err := Curvature{Max: 50}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range kappa {
+		if k > 50 {
+			t.Fatalf("kappa[%d] = %g exceeds clamp", i, k)
+		}
+	}
+}
+
+func TestCurvatureNeedsTwoDims(t *testing.T) {
+	ts := fda.UniformGrid(0, 1, 30)
+	ys := make([]float64, 30)
+	for i, tt := range ts {
+		ys[i] = tt
+	}
+	s, _ := fda.NewSample(ts, [][]float64{ys})
+	fit, err := fda.FitSample(s, fda.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Curvature{}).Map(fit, ts); !errors.Is(err, ErrMapping) {
+		t.Fatalf("err = %v want ErrMapping", err)
+	}
+}
+
+func TestLogCurvatureIsLogOfCurvature(t *testing.T) {
+	fit := fitPath(t, 80, circle(1, 0, 0, 0))
+	grid := interior(fda.UniformGrid(0, 1, 20))
+	k, err := Curvature{Max: math.Inf(1)}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := LogCurvature{Shift: 1e-6}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range k {
+		if math.Abs(lk[i]-math.Log(k[i]+1e-6)) > 1e-9 {
+			t.Fatal("log-curvature disagrees with log(kappa+shift)")
+		}
+	}
+}
+
+func TestSpeedOfCircle(t *testing.T) {
+	// Unit-frequency circle of radius 2: speed = 2·2π.
+	fit := fitPath(t, 100, circle(2, 0, 0, 0))
+	grid := interior(fda.UniformGrid(0, 1, 30))
+	sp, err := Speed{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * math.Pi
+	for i, v := range sp {
+		if math.Abs(v-want) > 0.2 {
+			t.Fatalf("speed[%d] = %g want %g", i, v, want)
+		}
+	}
+}
+
+func TestRadiusOfCurvatureInvertsKappa(t *testing.T) {
+	fit := fitPath(t, 100, circle(2, 0, 0, 0))
+	grid := interior(fda.UniformGrid(0, 1, 20))
+	r, err := RadiusOfCurvature{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r {
+		if math.Abs(v-2) > 0.15 {
+			t.Fatalf("radius[%d] = %g want 2", i, v)
+		}
+	}
+}
+
+func TestSignedCurvatureOrientation(t *testing.T) {
+	ccw := fitPath(t, 100, circle(1, 0, 0, 0)) // counter-clockwise
+	cw := fitPath(t, 100, func(tt float64) (float64, float64) {
+		a := -2*math.Pi*tt + 0.3
+		return math.Cos(a), math.Sin(a)
+	})
+	grid := interior(fda.UniformGrid(0, 1, 20))
+	kCCW, err := SignedCurvature{}.Map(ccw, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kCW, err := SignedCurvature{}.Map(cw, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range kCCW {
+		if kCCW[i] <= 0 {
+			t.Fatalf("ccw signed curvature[%d] = %g want > 0", i, kCCW[i])
+		}
+		if kCW[i] >= 0 {
+			t.Fatalf("cw signed curvature[%d] = %g want < 0", i, kCW[i])
+		}
+	}
+}
+
+func TestTurningAngleOfFullCircle(t *testing.T) {
+	fit := fitPath(t, 150, circle(1, 0, 0, 0))
+	grid := fda.UniformGrid(0.05, 0.95, 60)
+	theta, err := TurningAngle{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over 90% of a full CCW loop the tangent turns by ≈ 0.9·2π.
+	turn := theta[len(theta)-1] - theta[0]
+	if math.Abs(turn-0.9*2*math.Pi) > 0.3 {
+		t.Fatalf("total turning = %g want ≈ %g", turn, 0.9*2*math.Pi)
+	}
+}
+
+func TestTorsionOfHelix(t *testing.T) {
+	// Helix (a cos t, a sin t, b t): torsion = b/(a²+b²), curvature = a/(a²+b²).
+	const a, b = 1.0, 0.5
+	ts := fda.UniformGrid(0, 1, 150)
+	x := make([]float64, len(ts))
+	y := make([]float64, len(ts))
+	z := make([]float64, len(ts))
+	for i, tt := range ts {
+		ang := 2 * math.Pi * tt
+		x[i] = a * math.Cos(ang)
+		y[i] = a * math.Sin(ang)
+		z[i] = b * ang
+	}
+	s, err := fda.NewSample(ts, [][]float64{x, y, z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := fda.FitSample(s, fda.Options{Dims: []int{24}, Lambdas: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := interior(fda.UniformGrid(0, 1, 30))
+	tau, err := Torsion{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b / (a*a + b*b)
+	for i, v := range tau {
+		if math.Abs(v-want) > 0.05 {
+			t.Fatalf("torsion[%d] = %g want %g", i, v, want)
+		}
+	}
+	kappa, err := Curvature{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK := a / (a*a + b*b)
+	for i, v := range kappa {
+		if math.Abs(v-wantK) > 0.05 {
+			t.Fatalf("helix curvature[%d] = %g want %g", i, v, wantK)
+		}
+	}
+}
+
+func TestTorsionRequiresThreeDims(t *testing.T) {
+	fit := fitPath(t, 50, circle(1, 0, 0, 0))
+	if _, err := (Torsion{}).Map(fit, []float64{0.5}); !errors.Is(err, ErrMapping) {
+		t.Fatalf("err = %v want ErrMapping", err)
+	}
+}
+
+func TestArcLengthOfCircle(t *testing.T) {
+	fit := fitPath(t, 150, circle(1, 0, 0, 0))
+	grid := fda.UniformGrid(0, 1, 200)
+	s, err := ArcLength{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 0 {
+		t.Fatal("arc length must start at 0")
+	}
+	total := s[len(s)-1]
+	if math.Abs(total-2*math.Pi) > 0.1 {
+		t.Fatalf("circumference = %g want 2π", total)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatal("arc length must be non-decreasing")
+		}
+	}
+}
+
+func TestRawConcatenatesParameters(t *testing.T) {
+	fit := fitPath(t, 50, circle(1, 0, 0, 0))
+	grid := fda.UniformGrid(0, 1, 10)
+	raw, err := Raw{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 2*len(grid) {
+		t.Fatalf("raw length = %d want %d", len(raw), 2*len(grid))
+	}
+}
+
+func TestStack(t *testing.T) {
+	fit := fitPath(t, 50, circle(1, 0, 0, 0))
+	grid := fda.UniformGrid(0, 1, 10)
+	st := Stack{Curvature{}, Speed{}}
+	out, err := st.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2*len(grid) {
+		t.Fatalf("stack length = %d", len(out))
+	}
+	if st.MinDim() != 2 {
+		t.Fatalf("stack MinDim = %d", st.MinDim())
+	}
+	if st.Name() != "stack(curvature+speed)" {
+		t.Fatalf("stack name = %q", st.Name())
+	}
+	if _, err := (Stack{}).Map(fit, grid); !errors.Is(err, ErrMapping) {
+		t.Fatal("empty stack must fail")
+	}
+}
+
+func TestRegistryContainsAll(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{
+		"curvature", "log-curvature", "normalized-curvature", "speed",
+		"radius", "signed-curvature", "turning-angle", "torsion",
+		"arc-length", "raw",
+	} {
+		if _, ok := reg[name]; !ok {
+			t.Fatalf("registry missing %q", name)
+		}
+	}
+}
+
+func TestMapDatasetErrorsPropagate(t *testing.T) {
+	if _, err := MapDataset(nil, Curvature{}, []float64{0}); !errors.Is(err, ErrMapping) {
+		t.Fatal("empty fits must fail")
+	}
+}

@@ -1,0 +1,93 @@
+package geometry
+
+import (
+	"fmt"
+
+	"repro/internal/fda"
+)
+
+// NormalizedCurvature is curvature as a function of *normalized arc
+// length* rather than of t: κ(s(t)) resampled at uniform fractions of the
+// total path length. Reparametrizing by arc length removes the sampling
+// speed from the feature — two paths tracing the same shape at different
+// speeds map to identical features — which is the shape-analysis view of
+// MFD the paper points to through Srivastava & Klassen and Xie et al.
+// (references [15], [16]).
+type NormalizedCurvature struct {
+	// Max caps κ as in Curvature; 0 means 1e3.
+	Max float64
+	// Oversample is the fine-grid factor used to build the arc-length
+	// table before resampling; 0 means 4.
+	Oversample int
+}
+
+// Name implements Mapping.
+func (NormalizedCurvature) Name() string { return "normalized-curvature" }
+
+// MinDim implements Mapping.
+func (NormalizedCurvature) MinDim() int { return 2 }
+
+// Map implements Mapping.
+func (m NormalizedCurvature) Map(fit *fda.Fit, ts []float64) ([]float64, error) {
+	if fit.Dim() < 2 {
+		return nil, fmt.Errorf("geometry: normalized curvature needs p >= 2, got %d: %w", fit.Dim(), ErrMapping)
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("geometry: empty grid: %w", ErrMapping)
+	}
+	over := m.Oversample
+	if over <= 0 {
+		over = 4
+	}
+	// Fine grid spanning the requested window.
+	lo, hi := ts[0], ts[len(ts)-1]
+	fineN := over * len(ts)
+	if fineN < 2 {
+		fineN = 2
+	}
+	fine := fda.UniformGrid(lo, hi, fineN)
+	kappa, err := Curvature{Max: m.Max}.Map(fit, fine)
+	if err != nil {
+		return nil, err
+	}
+	speeds, err := Speed{}.Map(fit, fine)
+	if err != nil {
+		return nil, err
+	}
+	// Cumulative arc length on the fine grid.
+	arc := make([]float64, fineN)
+	for i := 1; i < fineN; i++ {
+		arc[i] = arc[i-1] + 0.5*(speeds[i]+speeds[i-1])*(fine[i]-fine[i-1])
+	}
+	total := arc[fineN-1]
+	out := make([]float64, len(ts))
+	if total <= Eps {
+		// Degenerate (stationary) path: fall back to the plain curvature
+		// trace on the requested grid.
+		return Curvature{Max: m.Max}.Map(fit, ts)
+	}
+	// Resample κ at uniform arc-length fractions via linear interpolation
+	// in the (arc, κ) table.
+	j := 0
+	for i := range out {
+		target := total * float64(i) / float64(len(ts)-1)
+		if len(ts) == 1 {
+			target = total / 2
+		}
+		for j+1 < fineN && arc[j+1] < target {
+			j++
+		}
+		if j+1 >= fineN {
+			out[i] = kappa[fineN-1]
+			continue
+		}
+		span := arc[j+1] - arc[j]
+		if span <= 0 {
+			out[i] = kappa[j]
+			continue
+		}
+		frac := (target - arc[j]) / span
+		out[i] = kappa[j]*(1-frac) + kappa[j+1]*frac
+	}
+	return out, nil
+}

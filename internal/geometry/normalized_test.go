@@ -1,0 +1,97 @@
+package geometry
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fda"
+)
+
+func TestNormalizedCurvatureOfCircleIsConstant(t *testing.T) {
+	// A circle has constant curvature under any parametrization.
+	fit := fitPath(t, 120, circle(2, 0, 0, 0))
+	grid := fda.UniformGrid(0.1, 0.9, 40)
+	k, err := NormalizedCurvature{}.Map(fit, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range k {
+		if math.Abs(v-0.5) > 0.05 {
+			t.Fatalf("normalized curvature[%d] = %g want 0.5", i, v)
+		}
+	}
+}
+
+func TestNormalizedCurvatureParametrizationInvariance(t *testing.T) {
+	// The same geometric path traced at non-uniform speed: the plain
+	// curvature trace κ(t) is distorted in t, the arc-length-normalized
+	// trace is (approximately) unchanged.
+	uniform := fitPath(t, 150, func(tt float64) (float64, float64) {
+		a := 2 * math.Pi * tt
+		return 2 * math.Cos(a), 0.8 * math.Sin(a)
+	})
+	warped := fitPath(t, 150, func(tt float64) (float64, float64) {
+		// Monotone time warp tt → tt² stretches the early part.
+		w := tt * tt
+		a := 2 * math.Pi * w
+		return 2 * math.Cos(a), 0.8 * math.Sin(a)
+	})
+	// Both mappings must see the full domain: the time warp moves which
+	// sub-arc a fixed t-window covers, so comparing on a cropped window
+	// would compare different pieces of the ellipse.
+	grid := fda.UniformGrid(0, 1, 60)
+	kU, err := NormalizedCurvature{}.Map(uniform, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kW, err := NormalizedCurvature{}.Map(warped, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainU, err := Curvature{Max: 10}.Map(uniform, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainW, err := Curvature{Max: 10}.Map(warped, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim boundary samples where the warped path's vanishing speed makes
+	// the spline fit (and hence both mappings) unreliable.
+	l2 := func(a, b []float64) float64 {
+		var s float64
+		var n int
+		for i := 4; i < len(a)-4; i++ {
+			d := a[i] - b[i]
+			s += d * d
+			n++
+		}
+		return math.Sqrt(s / float64(n))
+	}
+	normDiff := l2(kU, kW)
+	plainDiff := l2(plainU, plainW)
+	if normDiff >= plainDiff/2 {
+		t.Fatalf("arc-length normalization did not stabilise the feature: normalized diff %g vs plain diff %g", normDiff, plainDiff)
+	}
+}
+
+func TestNormalizedCurvatureErrors(t *testing.T) {
+	ts := fda.UniformGrid(0, 1, 30)
+	ys := make([]float64, 30)
+	for i, tt := range ts {
+		ys[i] = tt
+	}
+	s, _ := fda.NewSample(ts, [][]float64{ys})
+	fit, err := fda.FitSample(s, fda.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (NormalizedCurvature{}).Map(fit, ts); !errors.Is(err, ErrMapping) {
+		t.Fatal("p = 1 must fail")
+	}
+	fit2 := fitPath(t, 50, circle(1, 0, 0, 0))
+	if _, err := (NormalizedCurvature{}).Map(fit2, nil); !errors.Is(err, ErrMapping) {
+		t.Fatal("empty grid must fail")
+	}
+}

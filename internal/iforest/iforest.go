@@ -1,0 +1,220 @@
+// Package iforest implements the Isolation Forest outlier detector of
+// Liu, Ting and Zhou (ICDM 2008), one of the two multivariate detectors
+// the paper applies to the curvature-mapped functional data (Sec. 3–4).
+//
+// An isolation tree recursively splits a subsample with uniformly random
+// axis-aligned cuts; outliers are isolated in few splits, so their average
+// path length across trees is short. The anomaly score 2^(−E[h(x)]/c(ψ))
+// lies in (0, 1) and grows with outlyingness.
+package iforest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrNotFitted is returned when Score is called before Fit.
+var ErrNotFitted = errors.New("iforest: model not fitted")
+
+// Options configures the forest. The zero value selects the paper's
+// defaults from Liu et al.: 100 trees on subsamples of 256 points.
+type Options struct {
+	// Trees is the ensemble size; 0 means 100.
+	Trees int
+	// SampleSize is the subsample ψ per tree; 0 means min(256, n).
+	SampleSize int
+	// Seed drives all randomness; the forest is deterministic given Seed.
+	Seed int64
+	// MaxDepth caps tree height; 0 means ceil(log2 ψ), the paper's value.
+	MaxDepth int
+}
+
+type node struct {
+	// Internal nodes: split attribute and value.
+	attr  int
+	value float64
+	left  *node
+	right *node
+	// Leaves: number of training points, pre-computed c(size) adjustment.
+	size int
+	adj  float64
+}
+
+func (nd *node) leaf() bool { return nd.left == nil }
+
+// Forest is a fitted isolation forest. Fit must be called before Score.
+type Forest struct {
+	opt   Options
+	trees []*node
+	dim   int
+	cPsi  float64
+}
+
+// New returns an unfitted forest with the given options.
+func New(opt Options) *Forest {
+	if opt.Trees == 0 {
+		opt.Trees = 100
+	}
+	return &Forest{opt: opt}
+}
+
+// Name identifies the detector in reports.
+func (f *Forest) Name() string { return "iFor" }
+
+// averagePathLength is c(n): the expected path length of an unsuccessful
+// BST search among n points, used to normalise depths.
+func averagePathLength(n int) float64 {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	default:
+		h := math.Log(float64(n-1)) + 0.5772156649015329 // harmonic number approximation
+		return 2*h - 2*float64(n-1)/float64(n)
+	}
+}
+
+// Fit grows the ensemble on the feature vectors x (n samples, equal
+// lengths). It is the unsupervised training step of Sec. 4.2.
+func (f *Forest) Fit(x [][]float64) error {
+	n := len(x)
+	if n == 0 {
+		return fmt.Errorf("iforest: empty training set: %w", ErrNotFitted)
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return fmt.Errorf("iforest: zero-length feature vectors: %w", ErrNotFitted)
+	}
+	for i, xi := range x {
+		if len(xi) != dim {
+			return fmt.Errorf("iforest: sample %d has %d features, want %d", i, len(xi), dim)
+		}
+	}
+	psi := f.opt.SampleSize
+	if psi <= 0 || psi > n {
+		psi = 256
+		if psi > n {
+			psi = n
+		}
+	}
+	maxDepth := f.opt.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = int(math.Ceil(math.Log2(float64(psi))))
+		if maxDepth < 1 {
+			maxDepth = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(f.opt.Seed))
+	f.trees = make([]*node, f.opt.Trees)
+	f.dim = dim
+	f.cPsi = averagePathLength(psi)
+	if f.cPsi == 0 {
+		f.cPsi = 1
+	}
+	idxBuf := make([]int, n)
+	for i := range idxBuf {
+		idxBuf[i] = i
+	}
+	for t := range f.trees {
+		// Subsample ψ indices without replacement.
+		rng.Shuffle(n, func(i, j int) { idxBuf[i], idxBuf[j] = idxBuf[j], idxBuf[i] })
+		sub := make([]int, psi)
+		copy(sub, idxBuf[:psi])
+		f.trees[t] = growTree(x, sub, 0, maxDepth, rng)
+	}
+	return nil
+}
+
+func growTree(x [][]float64, idx []int, depth, maxDepth int, rng *rand.Rand) *node {
+	if len(idx) <= 1 || depth >= maxDepth {
+		return &node{size: len(idx), adj: averagePathLength(len(idx))}
+	}
+	dim := len(x[0])
+	// Pick a random attribute with spread; give up after a few draws if
+	// the subsample is constant (then the node becomes a leaf).
+	for attempt := 0; attempt < dim; attempt++ {
+		attr := rng.Intn(dim)
+		lo, hi := x[idx[0]][attr], x[idx[0]][attr]
+		for _, i := range idx[1:] {
+			v := x[i][attr]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		split := lo + rng.Float64()*(hi-lo)
+		var left, right []int
+		for _, i := range idx {
+			if x[i][attr] < split {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			// Degenerate cut (can happen when split == lo); retry.
+			continue
+		}
+		return &node{
+			attr:  attr,
+			value: split,
+			left:  growTree(x, left, depth+1, maxDepth, rng),
+			right: growTree(x, right, depth+1, maxDepth, rng),
+		}
+	}
+	return &node{size: len(idx), adj: averagePathLength(len(idx))}
+}
+
+// pathLength walks xq down the tree, adding the c(size) adjustment at the
+// leaf as in the original algorithm.
+func pathLength(nd *node, xq []float64) float64 {
+	var depth float64
+	for !nd.leaf() {
+		if xq[nd.attr] < nd.value {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+		depth++
+	}
+	return depth + nd.adj
+}
+
+// Score returns the anomaly score of xq in (0, 1); higher means more
+// outlying. It returns an error if the forest is unfitted or the feature
+// length disagrees with training.
+func (f *Forest) Score(xq []float64) (float64, error) {
+	if len(f.trees) == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(xq) != f.dim {
+		return 0, fmt.Errorf("iforest: query has %d features, want %d", len(xq), f.dim)
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += pathLength(t, xq)
+	}
+	mean := sum / float64(len(f.trees))
+	return math.Pow(2, -mean/f.cPsi), nil
+}
+
+// ScoreBatch scores every row of x.
+func (f *Forest) ScoreBatch(x [][]float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	for i, xi := range x {
+		s, err := f.Score(xi)
+		if err != nil {
+			return nil, fmt.Errorf("iforest: sample %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package iforest
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonForest is the serialized form of a fitted forest.
+type jsonForest struct {
+	Dim   int        `json:"dim"`
+	CPsi  float64    `json:"cPsi"`
+	Trees []jsonNode `json:"trees"`
+}
+
+// jsonNode flattens a tree node; Left/Right are indices into a node pool
+// (−1 for none) so deep trees do not recurse the JSON encoder.
+type jsonNode struct {
+	Attr  int        `json:"attr"`
+	Value float64    `json:"value"`
+	Size  int        `json:"size"`
+	Adj   float64    `json:"adj"`
+	Left  []jsonNode `json:"left,omitempty"`
+	Right []jsonNode `json:"right,omitempty"`
+}
+
+func encodeNode(nd *node) jsonNode {
+	out := jsonNode{Attr: nd.attr, Value: nd.value, Size: nd.size, Adj: nd.adj}
+	if nd.left != nil {
+		out.Left = []jsonNode{encodeNode(nd.left)}
+	}
+	if nd.right != nil {
+		out.Right = []jsonNode{encodeNode(nd.right)}
+	}
+	return out
+}
+
+func decodeNode(jn jsonNode) *node {
+	nd := &node{attr: jn.Attr, value: jn.Value, size: jn.Size, adj: jn.Adj}
+	if len(jn.Left) > 0 {
+		nd.left = decodeNode(jn.Left[0])
+	}
+	if len(jn.Right) > 0 {
+		nd.right = decodeNode(jn.Right[0])
+	}
+	if (nd.left == nil) != (nd.right == nil) {
+		// Repair asymmetric corruption into a leaf so scoring stays safe.
+		nd.left, nd.right = nil, nil
+	}
+	return nd
+}
+
+// MarshalJSON serializes a fitted forest; it fails on an unfitted one.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	if len(f.trees) == 0 {
+		return nil, fmt.Errorf("iforest: marshal unfitted forest: %w", ErrNotFitted)
+	}
+	jf := jsonForest{Dim: f.dim, CPsi: f.cPsi, Trees: make([]jsonNode, len(f.trees))}
+	for i, t := range f.trees {
+		jf.Trees[i] = encodeNode(t)
+	}
+	return json.Marshal(jf)
+}
+
+// UnmarshalJSON restores a fitted forest serialized by MarshalJSON.
+func (f *Forest) UnmarshalJSON(data []byte) error {
+	var jf jsonForest
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return fmt.Errorf("iforest: unmarshal: %w", err)
+	}
+	if jf.Dim <= 0 || len(jf.Trees) == 0 || jf.CPsi <= 0 {
+		return fmt.Errorf("iforest: unmarshal incomplete model: %w", ErrNotFitted)
+	}
+	f.dim = jf.Dim
+	f.cPsi = jf.CPsi
+	f.trees = make([]*node, len(jf.Trees))
+	for i, jn := range jf.Trees {
+		f.trees[i] = decodeNode(jn)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package iforest
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := gaussianCloud(rng, 80, 3)
+	f := New(Options{Trees: 30, Seed: 1})
+	if err := f.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Options{})
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want, err := f.Score(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Score(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("score[%d] = %g after round-trip, want %g", i, got, want)
+		}
+	}
+}
+
+func TestForestMarshalUnfitted(t *testing.T) {
+	if _, err := json.Marshal(New(Options{})); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("err = %v want ErrNotFitted", err)
+	}
+}
+
+func TestForestUnmarshalRejectsGarbage(t *testing.T) {
+	f := New(Options{})
+	if err := json.Unmarshal([]byte(`{"dim":0,"trees":[]}`), f); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("err = %v want ErrNotFitted", err)
+	}
+	if err := json.Unmarshal([]byte(`{`), f); err == nil {
+		t.Fatal("truncated json must fail")
+	}
+}
+
+func TestForestUnmarshalRepairsAsymmetricNode(t *testing.T) {
+	// A node with a left child but no right child is corrupt; decoding
+	// must degrade it to a leaf rather than panic during scoring.
+	blob := `{"dim":1,"cPsi":1,"trees":[{"attr":0,"value":0.5,"left":[{"size":1,"adj":0}]}]}`
+	f := New(Options{})
+	if err := json.Unmarshal([]byte(blob), f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Score([]float64{0.2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBandedSPD builds an SPD matrix with the given bandwidth by forming
+// BᵀB + I where B is banded.
+func randomBandedSPD(rng *rand.Rand, n, k int) *Dense {
+	b := NewDense(n, n)
+	// Fill B with bandwidth floor(k/2): BᵀB then has bandwidth ≤ 2·floor(k/2) ≤ k.
+	half := k / 2
+	for i := 0; i < n; i++ {
+		for j := i - half; j <= i+half; j++ {
+			if j >= 0 && j < n {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	spd := b.AtA()
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	return spd
+}
+
+func TestBandwidthDetection(t *testing.T) {
+	a := NewDense(5, 5)
+	for i := 0; i < 5; i++ {
+		a.Set(i, i, 2)
+		if i+1 < 5 {
+			a.Set(i, i+1, 1)
+			a.Set(i+1, i, 1)
+		}
+	}
+	if got := Bandwidth(a); got != 1 {
+		t.Fatalf("bandwidth = %d want 1", got)
+	}
+	if got := Bandwidth(Identity(4)); got != 0 {
+		t.Fatalf("identity bandwidth = %d want 0", got)
+	}
+}
+
+func TestBandCholeskyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 3, 8, 20} {
+		for _, k := range []int{0, 1, 3} {
+			if k >= n {
+				continue
+			}
+			a := randomBandedSPD(rng, n, k)
+			kb := Bandwidth(a)
+			bc, err := NewBandCholesky(a, kb)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, kb, err)
+			}
+			dense, err := NewCholesky(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			xb, err := bc.Solve(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xd, err := dense.Solve(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range xb {
+				if !almostEqual(xb[i], xd[i], 1e-9*(1+math.Abs(xd[i]))) {
+					t.Fatalf("n=%d k=%d: banded %g vs dense %g at %d", n, kb, xb[i], xd[i], i)
+				}
+			}
+		}
+	}
+}
+
+func TestBandCholeskyResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		k := rng.Intn(4)
+		if k >= n {
+			k = n - 1
+		}
+		a := randomBandedSPD(rng, n, k)
+		bc, err := NewBandCholesky(a, Bandwidth(a))
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := bc.Solve(b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-7*(1+math.Abs(b[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandCholeskyErrors(t *testing.T) {
+	if _, err := NewBandCholesky(NewDense(2, 3), 1); !errors.Is(err, ErrShape) {
+		t.Fatal("non-square must fail")
+	}
+	if _, err := NewBandCholesky(Identity(3), -1); !errors.Is(err, ErrShape) {
+		t.Fatal("negative bandwidth must fail")
+	}
+	indef := mustDense(2, 2, 1, 2, 2, 1)
+	if _, err := NewBandCholesky(indef, 1); !errors.Is(err, ErrSingular) {
+		t.Fatal("indefinite must fail")
+	}
+	bc, err := NewBandCholesky(Identity(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bc.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("bad rhs length must fail")
+	}
+}
+
+func TestBandCholeskyOversizedBandwidthClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomBandedSPD(rng, 6, 2)
+	bc, err := NewBandCholesky(a, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4, 5, 6}
+	x, err := bc.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if !almostEqual(ax[i], b[i], 1e-8) {
+			t.Fatal("oversized bandwidth solve wrong")
+		}
+	}
+}
+
+func BenchmarkCholeskyDense21(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomBandedSPD(rng, 21, 3)
+	rhs := make([]float64, 21)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := NewCholesky(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 85; j++ {
+			if _, err := ch.Solve(rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCholeskyBanded21(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomBandedSPD(rng, 21, 3)
+	rhs := make([]float64, 21)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc, err := NewBandCholesky(a, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 85; j++ {
+			if _, err := bc.Solve(rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

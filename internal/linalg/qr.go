@@ -1,0 +1,124 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q R of an m-by-n matrix with
+// m >= n, stored in compact form.
+type QR struct {
+	m, n  int
+	qr    []float64 // Householder vectors below diagonal, R on/above
+	rdiag []float64
+}
+
+// NewQR factors a with Householder reflections. It requires rows >= cols.
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("linalg: qr of %dx%d needs rows >= cols: %w", m, n, ErrShape)
+	}
+	qr := make([]float64, m*n)
+	copy(qr, a.data)
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Column norm below the diagonal, computed with scaling for safety.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr[i*n+k])
+		}
+		if nrm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr[i*n+k] /= nrm
+		}
+		qr[k*n+k]++
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr[i*n+k] * qr[i*n+j]
+			}
+			s = -s / qr[k*n+k]
+			for i := k; i < m; i++ {
+				qr[i*n+j] += s * qr[i*n+k]
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{m: m, n: n, qr: qr, rdiag: rdiag}, nil
+}
+
+// FullRank reports whether every diagonal entry of R is meaningfully
+// non-zero, using a tolerance relative to the largest diagonal magnitude
+// so exactly-collinear columns are detected through round-off residue.
+func (q *QR) FullRank() bool {
+	var scale float64
+	for _, d := range q.rdiag {
+		if a := math.Abs(d); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return q.n == 0
+	}
+	tol := scale * 1e-12 * float64(q.m)
+	for _, d := range q.rdiag {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimising ‖A x − b‖₂.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != q.m {
+		return nil, fmt.Errorf("linalg: qr solve rhs %d want %d: %w", len(b), q.m, ErrShape)
+	}
+	if !q.FullRank() {
+		return nil, fmt.Errorf("linalg: rank-deficient least squares: %w", ErrSingular)
+	}
+	y := make([]float64, q.m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < q.n; k++ {
+		hk := q.qr[k*q.n+k]
+		if hk == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < q.m; i++ {
+			s += q.qr[i*q.n+k] * y[i]
+		}
+		s = -s / hk
+		for i := k; i < q.m; i++ {
+			y[i] += s * q.qr[i*q.n+k]
+		}
+	}
+	// Back-substitute R x = (Qᵀ b)[:n].
+	x := make([]float64, q.n)
+	for i := q.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < q.n; j++ {
+			s -= q.qr[i*q.n+j] * x[j]
+		}
+		x[i] = s / q.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A x − b‖₂ via QR, a convenience wrapper.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	qr, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return qr.Solve(b)
+}

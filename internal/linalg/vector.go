@@ -1,0 +1,107 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y. It panics on length mismatch,
+// which always indicates a programming error in this repository.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: dot of vectors with different lengths")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the max-absolute-value norm of x.
+func NormInf(x []float64) float64 {
+	var mx float64
+	for _, v := range x {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Axpy computes y ← a*x + y in place and returns y.
+func Axpy(a float64, x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: axpy of vectors with different lengths")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+	return y
+}
+
+// ScaleVec returns a*x as a new vector.
+func ScaleVec(a float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = a * v
+	}
+	return out
+}
+
+// Sub returns x − y as a new vector.
+func Sub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: sub of vectors with different lengths")
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - y[i]
+	}
+	return out
+}
+
+// Dist2 returns the Euclidean distance between x and y.
+func Dist2(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: dist of vectors with different lengths")
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist2 returns the squared Euclidean distance between x and y.
+func SqDist2(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: sqdist of vectors with different lengths")
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns its
+// original norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	for i := range x {
+		x[i] /= n
+	}
+	return n
+}

@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotKnown(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2Known(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %g want 5", got)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) should be 0")
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if got := NormInf([]float64{-7, 3, 5}); got != 7 {
+		t.Fatalf("NormInf = %g want 7", got)
+	}
+}
+
+func TestAxpyInPlace(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v want [7 9]", y)
+	}
+}
+
+func TestScaleVec(t *testing.T) {
+	x := []float64{1, -2}
+	got := ScaleVec(-3, x)
+	if got[0] != -3 || got[1] != 6 {
+		t.Fatalf("ScaleVec = %v", got)
+	}
+	if x[0] != 1 {
+		t.Fatal("ScaleVec must not mutate input")
+	}
+}
+
+func TestSubAndDist(t *testing.T) {
+	d := Sub([]float64{5, 7}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("Sub = %v", d)
+	}
+	if Dist2([]float64{0, 0}, []float64{3, 4}) != 5 {
+		t.Fatal("Dist2 wrong")
+	}
+	if SqDist2([]float64{0, 0}, []float64{3, 4}) != 25 {
+		t.Fatal("SqDist2 wrong")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	n := Normalize(x)
+	if n != 5 {
+		t.Fatalf("returned norm = %g want 5", n)
+	}
+	if !almostEqual(Norm2(x), 1, 1e-12) {
+		t.Fatalf("normalized norm = %g want 1", Norm2(x))
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) != 0 || zero[0] != 0 {
+		t.Fatal("zero vector must be left unchanged")
+	}
+}
+
+// Property: Cauchy–Schwarz |x·y| ≤ ‖x‖‖y‖.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(x, y []float64) bool {
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		x, y = x[:n], y[:n]
+		for _, v := range append(append([]float64{}, x...), y...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological draws
+			}
+		}
+		return math.Abs(Dot(x, y)) <= Norm2(x)*Norm2(y)*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Dist2.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x := []float64{float64(seed % 97), float64(seed % 13), float64(seed % 7)}
+		y := []float64{float64(seed % 31), float64(seed % 11), float64(seed % 3)}
+		z := []float64{float64(seed % 17), float64(seed % 23), float64(seed % 5)}
+		return Dist2(x, z) <= Dist2(x, y)+Dist2(y, z)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package lof implements the Local Outlier Factor (Breunig et al. 2000)
+// and a k-nearest-neighbour distance detector. The paper applies iForest
+// and OCSVM to the mapped data but frames the method as compatible with
+// any "state-of-the-art outlier detection algorithm" on multivariate
+// vectors; these two detectors feed the detector-ablation experiment.
+package lof
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// ErrNotFitted is returned when Score is called before Fit.
+var ErrNotFitted = errors.New("lof: model not fitted")
+
+// Options configures the neighbourhood size.
+type Options struct {
+	// K is the neighbourhood size; 0 means min(20, n−1).
+	K int
+}
+
+// LOF is a fitted Local Outlier Factor model that scores new points
+// against the training density.
+type LOF struct {
+	opt Options
+	x   [][]float64
+	k   int
+	// kDist[i] is the distance from training point i to its k-th
+	// neighbour; lrd[i] its local reachability density.
+	kDist []float64
+	lrd   []float64
+}
+
+// New returns an unfitted LOF detector.
+func New(opt Options) *LOF { return &LOF{opt: opt} }
+
+// Name identifies the detector in reports.
+func (l *LOF) Name() string { return "LOF" }
+
+// neighbours returns the indices of the k nearest rows of x to q,
+// excluding the row index skip (pass −1 to keep all), together with the
+// distances, both sorted ascending by distance.
+func neighbours(x [][]float64, q []float64, k, skip int) (idx []int, dist []float64) {
+	type nd struct {
+		i int
+		d float64
+	}
+	all := make([]nd, 0, len(x))
+	for i, xi := range x {
+		if i == skip {
+			continue
+		}
+		all = append(all, nd{i, linalg.Dist2(q, xi)})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	if k > len(all) {
+		k = len(all)
+	}
+	idx = make([]int, k)
+	dist = make([]float64, k)
+	for i := 0; i < k; i++ {
+		idx[i] = all[i].i
+		dist[i] = all[i].d
+	}
+	return idx, dist
+}
+
+// Fit memorises the training set and precomputes every training point's
+// k-distance and local reachability density.
+func (l *LOF) Fit(x [][]float64) error {
+	n := len(x)
+	if n < 2 {
+		return fmt.Errorf("lof: need >= 2 training samples, got %d: %w", n, ErrNotFitted)
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return fmt.Errorf("lof: sample %d has %d features, want %d", i, len(xi), dim)
+		}
+	}
+	k := l.opt.K
+	if k <= 0 {
+		k = 20
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	l.x = x
+	l.k = k
+	l.kDist = make([]float64, n)
+	nbrIdx := make([][]int, n)
+	nbrDist := make([][]float64, n)
+	for i, xi := range x {
+		idx, dist := neighbours(x, xi, k, i)
+		nbrIdx[i] = idx
+		nbrDist[i] = dist
+		l.kDist[i] = dist[len(dist)-1]
+	}
+	l.lrd = make([]float64, n)
+	for i := range x {
+		var reach float64
+		for j, nb := range nbrIdx[i] {
+			reach += math.Max(nbrDist[i][j], l.kDist[nb])
+		}
+		if reach == 0 {
+			// Duplicated points: infinite density, represented large.
+			l.lrd[i] = math.Inf(1)
+		} else {
+			l.lrd[i] = float64(len(nbrIdx[i])) / reach
+		}
+	}
+	return nil
+}
+
+// Score returns the LOF of xq against the training set: ≈1 for inliers,
+// ≫1 for outliers. Higher means more outlying.
+func (l *LOF) Score(xq []float64) (float64, error) {
+	if l.x == nil {
+		return 0, ErrNotFitted
+	}
+	if len(xq) != len(l.x[0]) {
+		return 0, fmt.Errorf("lof: query has %d features, want %d", len(xq), len(l.x[0]))
+	}
+	idx, dist := neighbours(l.x, xq, l.k, -1)
+	var reach float64
+	for j, nb := range idx {
+		reach += math.Max(dist[j], l.kDist[nb])
+	}
+	if reach == 0 {
+		return 1, nil // coincides with a dense cluster of training points
+	}
+	lrdQ := float64(len(idx)) / reach
+	var ratio float64
+	var count int
+	for _, nb := range idx {
+		if math.IsInf(l.lrd[nb], 1) {
+			continue
+		}
+		ratio += l.lrd[nb] / lrdQ
+		count++
+	}
+	if count == 0 {
+		return 1, nil
+	}
+	return ratio / float64(count), nil
+}
+
+// ScoreBatch scores every row of x.
+func (l *LOF) ScoreBatch(x [][]float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	for i, xi := range x {
+		s, err := l.Score(xi)
+		if err != nil {
+			return nil, fmt.Errorf("lof: sample %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// KNNDist scores a point by its mean distance to the k nearest training
+// points — the simplest distance-based detector, a useful floor in
+// ablations.
+type KNNDist struct {
+	opt Options
+	x   [][]float64
+	k   int
+}
+
+// NewKNN returns an unfitted kNN-distance detector.
+func NewKNN(opt Options) *KNNDist { return &KNNDist{opt: opt} }
+
+// Name identifies the detector in reports.
+func (d *KNNDist) Name() string { return "kNN" }
+
+// Fit memorises the training set.
+func (d *KNNDist) Fit(x [][]float64) error {
+	n := len(x)
+	if n < 1 {
+		return fmt.Errorf("lof: knn needs >= 1 training sample: %w", ErrNotFitted)
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return fmt.Errorf("lof: sample %d has %d features, want %d", i, len(xi), dim)
+		}
+	}
+	k := d.opt.K
+	if k <= 0 {
+		k = 20
+	}
+	if k > n {
+		k = n
+	}
+	d.x = x
+	d.k = k
+	return nil
+}
+
+// Score returns the mean distance from xq to its k nearest training
+// points; higher means more outlying.
+func (d *KNNDist) Score(xq []float64) (float64, error) {
+	if d.x == nil {
+		return 0, ErrNotFitted
+	}
+	if len(xq) != len(d.x[0]) {
+		return 0, fmt.Errorf("lof: query has %d features, want %d", len(xq), len(d.x[0]))
+	}
+	_, dist := neighbours(d.x, xq, d.k, -1)
+	var s float64
+	for _, v := range dist {
+		s += v
+	}
+	return s / float64(len(dist)), nil
+}
+
+// ScoreBatch scores every row of x.
+func (d *KNNDist) ScoreBatch(x [][]float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	for i, xi := range x {
+		s, err := d.Score(xi)
+		if err != nil {
+			return nil, fmt.Errorf("lof: sample %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

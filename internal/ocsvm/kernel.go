@@ -1,0 +1,86 @@
+// Package ocsvm implements the One-Class Support Vector Machine of
+// Schölkopf et al. (Neural Computation 2001), the second multivariate
+// detector the paper applies to curvature-mapped functional data. The
+// ν-parameterised dual problem
+//
+//	min ½ αᵀ Q α   s.t.  0 ≤ α_i ≤ 1/(νn),  Σ α_i = 1
+//
+// is solved with a working-set SMO algorithm; the decision function is
+// f(x) = Σ α_i k(x_i, x) − ρ, negative for outliers. The package also
+// provides the k-fold cross-validated ν selection the paper uses
+// (Sec. 4.3), based on matching the held-out rejection rate to ν.
+package ocsvm
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Kernel is a positive-definite similarity between feature vectors.
+type Kernel interface {
+	// Eval returns k(x, y).
+	Eval(x, y []float64) float64
+	// Name identifies the kernel in reports.
+	Name() string
+}
+
+// RBF is the Gaussian kernel exp(−γ‖x−y‖²), the paper's implicit default
+// for curve-valued features.
+type RBF struct {
+	// Gamma is the inverse squared bandwidth γ; must be > 0 (use
+	// GammaScale to derive it from data).
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(x, y []float64) float64 {
+	return math.Exp(-k.Gamma * linalg.SqDist2(x, y))
+}
+
+// Name implements Kernel.
+func (k RBF) Name() string { return "rbf" }
+
+// Linear is the inner-product kernel.
+type Linear struct{}
+
+// Eval implements Kernel.
+func (Linear) Eval(x, y []float64) float64 { return linalg.Dot(x, y) }
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// Poly is the polynomial kernel (γ xᵀy + c)^d.
+type Poly struct {
+	Degree int
+	Gamma  float64
+	Coef0  float64
+}
+
+// Eval implements Kernel.
+func (k Poly) Eval(x, y []float64) float64 {
+	return math.Pow(k.Gamma*linalg.Dot(x, y)+k.Coef0, float64(k.Degree))
+}
+
+// Name implements Kernel.
+func (k Poly) Name() string { return "poly" }
+
+// GammaScale returns the scikit-learn "scale" heuristic
+// γ = 1/(d · Var(X)), with Var taken over all feature entries pooled.
+// It falls back to 1/d when the pooled variance vanishes.
+func GammaScale(x [][]float64) float64 {
+	if len(x) == 0 || len(x[0]) == 0 {
+		return 1
+	}
+	d := len(x[0])
+	pool := make([]float64, 0, len(x)*d)
+	for _, row := range x {
+		pool = append(pool, row...)
+	}
+	v := stats.PopVariance(pool)
+	if v <= 0 || math.IsNaN(v) {
+		return 1 / float64(d)
+	}
+	return 1 / (float64(d) * v)
+}

@@ -1,0 +1,190 @@
+// Package plot renders small ASCII charts for the command-line tools:
+// line charts (Fig. 3's AUC-vs-contamination series), curve bundles
+// (Fig. 1's functional data) and scatter plots (the (x1, x2) projection
+// and the Dir.out (MO, VO) plane). Plots are deliberately plain text so
+// the reproduction's figures appear directly in a terminal or a log file.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers cycle across series.
+var markers = []byte{'o', '*', '+', 'x', '#', '@', '%', '&'}
+
+// canvas is a rune grid with a bounding box in data coordinates.
+type canvas struct {
+	w, h           int
+	cells          [][]byte
+	x0, x1, y0, y1 float64
+}
+
+func newCanvas(w, h int, x0, x1, y0, y1 float64) *canvas {
+	if x1 <= x0 {
+		x1 = x0 + 1
+	}
+	if y1 <= y0 {
+		y1 = y0 + 1
+	}
+	cells := make([][]byte, h)
+	for i := range cells {
+		cells[i] = make([]byte, w)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &canvas{w: w, h: h, cells: cells, x0: x0, x1: x1, y0: y0, y1: y1}
+}
+
+// set plots one data point with the given marker.
+func (c *canvas) set(x, y float64, marker byte) {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return
+	}
+	col := int(math.Round((x - c.x0) / (c.x1 - c.x0) * float64(c.w-1)))
+	row := int(math.Round((c.y1 - y) / (c.y1 - c.y0) * float64(c.h-1)))
+	if col < 0 || col >= c.w || row < 0 || row >= c.h {
+		return
+	}
+	c.cells[row][col] = marker
+}
+
+// render draws the frame, y-axis labels and x-axis labels.
+func (c *canvas) render(title string) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for i, row := range c.cells {
+		// Y label on the first, middle and last row.
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3f", c.y1)
+		case c.h / 2:
+			label = fmt.Sprintf("%8.3f", (c.y0+c.y1)/2)
+		case c.h - 1:
+			label = fmt.Sprintf("%8.3f", c.y0)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", c.w) + "\n")
+	left := fmt.Sprintf("%.3g", c.x0)
+	right := fmt.Sprintf("%.3g", c.x1)
+	pad := c.w + 1 - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString(strings.Repeat(" ", 9) + left + strings.Repeat(" ", pad) + right + "\n")
+	return b.String()
+}
+
+// bounds returns the data bounding box of all series, with a small margin.
+func bounds(series []Series) (x0, x1, y0, y1 float64) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] < x0 {
+				x0 = s.X[i]
+			}
+			if s.X[i] > x1 {
+				x1 = s.X[i]
+			}
+			if s.Y[i] < y0 {
+				y0 = s.Y[i]
+			}
+			if s.Y[i] > y1 {
+				y1 = s.Y[i]
+			}
+		}
+	}
+	if math.IsInf(x0, 1) {
+		return 0, 1, 0, 1
+	}
+	my := 0.05 * (y1 - y0)
+	if my == 0 {
+		my = 0.5
+	}
+	return x0, x1, y0 - my, y1 + my
+}
+
+// Lines renders the series as a joint line chart with linear
+// interpolation between points and a legend.
+func Lines(title string, w, h int, series ...Series) string {
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	x0, x1, y0, y1 := bounds(series)
+	c := newCanvas(w, h, x0, x1, y0, y1)
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		// Dense interpolation so lines look connected.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := w / max(1, len(s.X)-1)
+			if steps < 2 {
+				steps = 2
+			}
+			for q := 0; q <= steps; q++ {
+				f := float64(q) / float64(steps)
+				c.set(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, marker)
+			}
+		}
+		if len(s.X) == 1 {
+			c.set(s.X[0], s.Y[0], marker)
+		}
+	}
+	out := c.render(title)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	return out + "  legend: " + strings.Join(legend, "   ") + "\n"
+}
+
+// Scatter renders point clouds (no interpolation); each series keeps its
+// own marker.
+func Scatter(title string, w, h int, series ...Series) string {
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	x0, x1, y0, y1 := bounds(series)
+	c := newCanvas(w, h, x0, x1, y0, y1)
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for i := range s.X {
+			c.set(s.X[i], s.Y[i], marker)
+		}
+	}
+	out := c.render(title)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	return out + "  legend: " + strings.Join(legend, "   ") + "\n"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesContainsMarkersAndLegend(t *testing.T) {
+	out := Lines("t", 40, 10,
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 0}},
+		Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{1, 0, 1}},
+	)
+	if !strings.Contains(out, "legend: o a   * b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "*") {
+		t.Fatal("markers missing")
+	}
+	if !strings.HasPrefix(out, "t\n") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestLinesAxisLabels(t *testing.T) {
+	out := Lines("", 40, 9, Series{Name: "s", X: []float64{0, 10}, Y: []float64{2, 4}})
+	if !strings.Contains(out, "0") || !strings.Contains(out, "10") {
+		t.Fatalf("x labels missing:\n%s", out)
+	}
+	// Y top label above the data max (margin applied).
+	if !strings.Contains(out, "4.1") {
+		t.Fatalf("y label missing:\n%s", out)
+	}
+}
+
+func TestScatterPlotsAllPoints(t *testing.T) {
+	out := Scatter("cloud", 30, 10,
+		Series{Name: "in", X: []float64{0, 0.5, 1}, Y: []float64{0, 0.5, 1}},
+	)
+	count := strings.Count(out, "o")
+	if count < 3 {
+		t.Fatalf("expected >= 3 plotted points, got %d:\n%s", count, out)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// Single point, zero ranges, NaN: must not panic.
+	out := Lines("", 20, 5, Series{Name: "p", X: []float64{1}, Y: []float64{1}})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	out = Scatter("", 20, 5, Series{Name: "q", X: []float64{2, 2}, Y: []float64{3, 3}})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	out = Lines("", 0, 0) // no series, default dims
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestMarkerCycle(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: "s", X: []float64{0, 1}, Y: []float64{float64(i), float64(i)}}
+	}
+	out := Lines("", 40, 12, series...)
+	// Marker list wraps around after 8 entries.
+	if !strings.Contains(out, "#") || !strings.Contains(out, "@") {
+		t.Fatalf("marker cycle broken:\n%s", out)
+	}
+}

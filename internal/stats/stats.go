@@ -1,0 +1,215 @@
+// Package stats provides the descriptive and robust statistics shared by
+// the smoothing, depth and detection algorithms: means, variances,
+// medians, MAD, quantiles, ranks and covariance matrices, together with
+// small deterministic random-sampling helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance of xs, or NaN when
+// fewer than two values are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// PopVariance returns the population (1/n) variance, used where the paper's
+// variance-like aggregation (Dir.out VO component) divides by n.
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// Median returns the sample median of xs, or NaN for an empty slice.
+// xs is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	tmp := make([]float64, n)
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return 0.5 * (tmp[n/2-1] + tmp[n/2])
+}
+
+// MADConsistency rescales the median absolute deviation so it estimates the
+// standard deviation under a normal model (1/Φ⁻¹(3/4)).
+const MADConsistency = 1.4826022185056018
+
+// MAD returns the median absolute deviation around the median, scaled by
+// MADConsistency so it is consistent for the normal standard deviation.
+// It returns NaN for an empty slice.
+func MAD(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, n)
+	for i, v := range xs {
+		dev[i] = math.Abs(v - med)
+	}
+	return MADConsistency * Median(dev)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R default).
+// It returns NaN for an empty slice or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	tmp := make([]float64, n)
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if n == 1 {
+		return tmp[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := h - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// MinMax returns the smallest and largest values of xs. It returns
+// (NaN, NaN) for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Ranks returns the 0-based ascending ranks of xs with ties receiving the
+// average of the ranks they span (midranks).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Covariance returns the p-by-p unbiased sample covariance matrix of the
+// rows of x (n samples, p variables), flattened row-major, together with
+// the column means. It returns nil means and covariance for n < 2.
+func Covariance(x [][]float64) (cov []float64, means []float64) {
+	n := len(x)
+	if n < 2 {
+		return nil, nil
+	}
+	p := len(x[0])
+	means = make([]float64, p)
+	for _, row := range x {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	cov = make([]float64, p*p)
+	for _, row := range x {
+		for a := 0; a < p; a++ {
+			da := row[a] - means[a]
+			for b := a; b < p; b++ {
+				cov[a*p+b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	den := float64(n - 1)
+	for a := 0; a < p; a++ {
+		for b := a; b < p; b++ {
+			cov[a*p+b] /= den
+			cov[b*p+a] = cov[a*p+b]
+		}
+	}
+	return cov, means
+}
+
+// Standardize returns (xs − mean) / std as a new slice. When the standard
+// deviation is zero or not finite, the centred values are returned
+// unscaled.
+func Standardize(xs []float64) []float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	out := make([]float64, len(xs))
+	if sd == 0 || math.IsNaN(sd) || math.IsInf(sd, 0) {
+		for i, v := range xs {
+			out[i] = v - m
+		}
+		return out
+	}
+	for i, v := range xs {
+		out[i] = (v - m) / sd
+	}
+	return out
+}

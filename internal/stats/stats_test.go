@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanKnown(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Var of {2,4,4,4,5,5,7,9} is 32/7 (unbiased).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %g want %g", got, 32.0/7)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of one value should be NaN")
+	}
+}
+
+func TestPopVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := PopVariance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("PopVariance = %g want 4", got)
+	}
+}
+
+func TestStdDevConsistentWithVariance(t *testing.T) {
+	xs := []float64{1, 5, 2, 8}
+	if got := StdDev(xs); !almostEqual(got*got, Variance(xs), 1e-12) {
+		t.Fatal("StdDev² != Variance")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %g want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %g want 2.5", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median must not reorder its input")
+	}
+}
+
+func TestMADKnown(t *testing.T) {
+	// Median 3, abs devs {2,1,0,1,2} → MAD raw 1, scaled 1.4826….
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := MAD(xs); !almostEqual(got, MADConsistency, 1e-12) {
+		t.Fatalf("MAD = %g want %g", got, MADConsistency)
+	}
+}
+
+func TestMADRobustToOutlier(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5}
+	spiked := []float64{1, 2, 3, 4, 1e6}
+	if MAD(spiked) > 3*MAD(base) {
+		t.Fatal("MAD exploded under a single outlier")
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%g) = %g want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("invalid quantile input should give NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %g,%g want -1,7", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("MinMax(nil) should be NaN,NaN")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{0, 1.5, 1.5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v want %v", got, want)
+		}
+	}
+}
+
+func TestRanksArePermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(5)) // force ties
+		}
+		ranks := Ranks(xs)
+		// Rank sum must equal 0+1+…+(n−1) regardless of ties.
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		return almostEqual(sum, float64(n*(n-1))/2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	cov, means := Covariance(x)
+	if means[0] != 2 || means[1] != 4 {
+		t.Fatalf("means = %v", means)
+	}
+	// Var(x1)=1, Cov=2, Var(x2)=4.
+	want := []float64{1, 2, 2, 4}
+	for i := range want {
+		if !almostEqual(cov[i], want[i], 1e-12) {
+			t.Fatalf("cov = %v want %v", cov, want)
+		}
+	}
+	if c, m := Covariance([][]float64{{1}}); c != nil || m != nil {
+		t.Fatal("n<2 should yield nil")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	z := Standardize([]float64{1, 2, 3})
+	if !almostEqual(Mean(z), 0, 1e-12) || !almostEqual(StdDev(z), 1, 1e-12) {
+		t.Fatalf("standardized mean/sd = %g/%g", Mean(z), StdDev(z))
+	}
+	// Constant data: centred, unscaled.
+	z = Standardize([]float64{5, 5, 5})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("constant standardize = %v", z)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	idx := []int{0, 1, 2, 3, 4, 5}
+	Shuffle(rng, idx)
+	sorted := append([]int{}, idx...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("Shuffle is not a permutation: %v", idx)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	got := SampleWithoutReplacement(rng, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid or duplicate index %d in %v", v, got)
+		}
+		seen[v] = true
+	}
+	if got := SampleWithoutReplacement(rng, 3, 10); len(got) != 3 {
+		t.Fatalf("oversized k should clamp to n, got %d", len(got))
+	}
+	if SampleWithoutReplacement(rng, 3, 0) != nil {
+		t.Fatal("k<=0 should give nil")
+	}
+}
+
+func TestBootstrapRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	got := Bootstrap(rng, 5, 20)
+	if len(got) != 20 {
+		t.Fatalf("len = %d want 20", len(got))
+	}
+	for _, v := range got {
+		if v < 0 || v >= 5 {
+			t.Fatalf("index %d out of range", v)
+		}
+	}
+}
+
+func TestSplitSeedDistinctStreams(t *testing.T) {
+	seen := map[int64]bool{}
+	for s := 0; s < 1000; s++ {
+		v := SplitSeed(42, s)
+		if seen[v] {
+			t.Fatalf("duplicate sub-seed for stream %d", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a := NewRand(7, 3).Int63()
+	b := NewRand(7, 3).Int63()
+	if a != b {
+		t.Fatal("NewRand must be deterministic for fixed (master, stream)")
+	}
+	if NewRand(7, 3).Int63() == NewRand(7, 4).Int63() {
+		t.Fatal("different streams should differ")
+	}
+}
