@@ -1,0 +1,26 @@
+# Developer gate for the repository. `make check` is the one command to
+# run before sending a change: tier-1 verify (build + test) plus vet and
+# the race-detector suite.
+
+GO ?= go
+
+.PHONY: build vet test test-race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race suite focuses on the concurrent paths: the serving subsystem,
+# the shared-pipeline scoring guarantee and the server binary.
+test-race:
+	$(GO) test -race ./internal/serve ./internal/core ./cmd/mfodserve
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: build vet test test-race

@@ -8,8 +8,16 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -21,6 +29,7 @@ import (
 	"repro/internal/iforest"
 	"repro/internal/lof"
 	"repro/internal/ocsvm"
+	"repro/internal/serve"
 	"repro/internal/stats"
 )
 
@@ -325,4 +334,82 @@ func BenchmarkAUC(b *testing.B) {
 
 func benchName(prefix string, v int) string {
 	return prefix + "=" + strconv.Itoa(v)
+}
+
+// --- Serving: concurrent scoring throughput ----------------------------
+
+// BenchmarkServeScoreParallel measures end-to-end scoring throughput of
+// the mfodserve stack — HTTP handler, bounded queue, micro-batching
+// worker pool, fitted pipeline — under parallel single-curve requests,
+// the serving subsystem's target workload.
+func BenchmarkServeScoreParallel(b *testing.B) {
+	d, err := dataset.ECGBivariate(dataset.ECGOptions{N: 60, Points: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &core.Pipeline{
+		Smooth:      fda.Options{Dims: []int{10}, Lambdas: []float64{1e-6}},
+		Mapping:     geometry.LogCurvature{},
+		Detector:    iforest.New(iforest.Options{Trees: 100, Seed: 1}),
+		Standardize: true,
+	}
+	if err := p.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	path := dir + "/model.json"
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.SaveJSON(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if err := reg.Load("ecg", path); err != nil {
+		b.Fatal(err)
+	}
+	pool := serve.NewPool(serve.PoolOptions{QueueCap: 4096})
+	defer pool.Close()
+	srv, err := serve.NewServer(serve.Config{Registry: reg, Pool: pool, Timeout: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/models/ecg:score"
+
+	// Pre-marshal one request body per sample.
+	bodies := make([][]byte, d.Len())
+	for i, s := range d.Samples {
+		blob, err := json.Marshal(map[string]any{
+			"samples": []map[string]any{{"times": s.Times, "values": s.Values}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = blob
+	}
+	var n atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			i := int(n.Add(1)) % len(bodies)
+			resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
 }

@@ -1,12 +1,13 @@
 // Command mfodgen writes the repository's synthetic datasets to CSV in the
 // long format read back by cmd/mfoddetect (columns:
-// sample,label,param,time,value).
+// sample,label,param,time,value), or — with -json — to the JSON document
+// shape that doubles as a cmd/mfodserve scoring-request body.
 //
 // Usage:
 //
 //	mfodgen -data ecg        [-n 200] [-points 85] [-frac 0.35] [-bivariate] [-seed 1] [-o ecg.csv]
 //	mfodgen -data taxonomy   [-class persistent-shape] [-n 150] [-seed 1]
-//	mfodgen -data fig1
+//	mfodgen -data fig1       [-json]
 package main
 
 import (
@@ -29,15 +30,16 @@ func main() {
 		class     = flag.String("class", "persistent-shape", "taxonomy outlier class")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("o", "-", "output path (- = stdout)")
+		asJSON    = flag.Bool("json", false, "write JSON instead of CSV (usable as an mfodserve :score body)")
 	)
 	flag.Parse()
-	if err := run(*data, *n, *points, *frac, *bivariate, *class, *seed, *out); err != nil {
+	if err := run(*data, *n, *points, *frac, *bivariate, *class, *seed, *out, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "mfodgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data string, n, points int, frac float64, bivariate bool, class string, seed int64, out string) error {
+func run(data string, n, points int, frac float64, bivariate bool, class string, seed int64, out string, asJSON bool) error {
 	var (
 		d   fda.Dataset
 		err error
@@ -81,6 +83,9 @@ func run(data string, n, points int, frac float64, bivariate bool, class string,
 		}
 		defer f.Close()
 		w = f
+	}
+	if asJSON {
+		return dataset.WriteJSON(w, d)
 	}
 	return dataset.WriteCSV(w, d)
 }

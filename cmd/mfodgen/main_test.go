@@ -11,7 +11,7 @@ import (
 
 func TestRunWritesECGCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ecg.csv")
-	if err := run("ecg", 12, 20, 0.25, true, "", 1, out); err != nil {
+	if err := run("ecg", 12, 20, 0.25, true, "", 1, out, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -37,7 +37,7 @@ func TestRunWritesECGCSV(t *testing.T) {
 func TestRunTaxonomyClasses(t *testing.T) {
 	for _, class := range dataset.OutlierClasses() {
 		out := filepath.Join(t.TempDir(), class.String()+".csv")
-		if err := run("taxonomy", 10, 15, 0.2, false, class.String(), 1, out); err != nil {
+		if err := run("taxonomy", 10, 15, 0.2, false, class.String(), 1, out, false); err != nil {
 			t.Fatalf("%s: %v", class, err)
 		}
 	}
@@ -45,7 +45,7 @@ func TestRunTaxonomyClasses(t *testing.T) {
 
 func TestRunFig1(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "fig1.csv")
-	if err := run("fig1", 0, 0, 0, false, "", 1, out); err != nil {
+	if err := run("fig1", 0, 0, 0, false, "", 1, out, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -62,11 +62,30 @@ func TestRunFig1(t *testing.T) {
 	}
 }
 
+func TestRunWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ecg.json")
+	if err := run("ecg", 8, 20, 0.25, true, "", 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 8 || d.Samples[0].Dim() != 2 {
+		t.Fatalf("json round-trip: n=%d dim=%d", d.Len(), d.Samples[0].Dim())
+	}
+}
+
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run("nope", 0, 0, 0, false, "", 1, "-"); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+	if err := run("nope", 0, 0, 0, false, "", 1, "-", false); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
 		t.Fatalf("err = %v", err)
 	}
-	if err := run("taxonomy", 10, 15, 0, false, "bogus", 1, "-"); err == nil || !strings.Contains(err.Error(), "unknown taxonomy class") {
+	if err := run("taxonomy", 10, 15, 0, false, "bogus", 1, "-", false); err == nil || !strings.Contains(err.Error(), "unknown taxonomy class") {
 		t.Fatalf("err = %v", err)
 	}
 }

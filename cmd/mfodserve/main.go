@@ -1,0 +1,150 @@
+// Command mfodserve serves fitted detection pipelines over HTTP: the
+// online half of the repository. Train and persist a model with
+// `mfoddetect -save model.json`, point mfodserve at it, and score new
+// curves with a POST — see the "Serving" section of README.md for the
+// end-to-end walkthrough.
+//
+// Usage:
+//
+//	mfodserve -model ecg=model.json [-model other=o.json ...]
+//	          [-addr :8080] [-workers 8] [-queue 256] [-batch 16]
+//	          [-timeout 30s] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/models/{name}:score   score curves (JSON body), optional explanations
+//	POST /v1/models/{name}:reload  atomically re-read the model file
+//	GET  /v1/models                list loaded models
+//	GET  /healthz, /readyz         liveness / readiness
+//	GET  /metrics                  Prometheus text metrics
+//
+// On SIGINT/SIGTERM the server drains gracefully: readiness flips to
+// 503, in-flight requests finish, then the worker pool shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// listen binds the TCP listener separately from Serve so run can report
+// the resolved address (":0" in tests) before accepting traffic.
+func listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// modelFlags collects repeated -model name=path pairs.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "scoring goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 256, "bounded scoring-queue capacity (full queue => 429)")
+		batch   = flag.Int("batch", 16, "max jobs one worker drains per wake-up (micro-batch)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline (exceeded => 504)")
+		quiet   = flag.Bool("quiet", false, "suppress request logging")
+	)
+	flag.Var(&models, "model", "name=path of a saved pipeline; repeatable")
+	flag.Parse()
+	if err := run(*addr, models, *workers, *queue, *batch, *timeout, *quiet, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "mfodserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires the registry, pool and server, then blocks until a signal or
+// a listener error. The ready channel (tests only) receives the bound
+// address once the listener is up.
+func run(addr string, models []string, workers, queue, batch int, timeout time.Duration, quiet bool, ready chan<- string) error {
+	if len(models) == 0 {
+		return errors.New("at least one -model name=path is required")
+	}
+	registry := serve.NewRegistry()
+	for _, spec := range models {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -model %q, want name=path", spec)
+		}
+		if err := registry.Load(name, path); err != nil {
+			return err
+		}
+	}
+
+	var logOut io.Writer = os.Stderr
+	if quiet {
+		logOut = io.Discard
+	}
+	logger := slog.New(slog.NewTextHandler(logOut, nil))
+	metrics := serve.NewMetrics()
+	pool := serve.NewPool(serve.PoolOptions{
+		Workers:  workers,
+		QueueCap: queue,
+		MaxBatch: batch,
+		Metrics:  metrics,
+	})
+	srv, err := serve.NewServer(serve.Config{
+		Registry: registry,
+		Pool:     pool,
+		Metrics:  metrics,
+		Timeout:  timeout,
+		Logger:   logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	ln, err := listen(addr)
+	if err != nil {
+		return err
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	logger.Info("serving", "addr", ln.Addr().String(), "models", registry.Names())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		pool.Close()
+		return err
+	case sig := <-sigc:
+		logger.Info("shutdown", "signal", sig.String())
+	}
+	// Graceful drain: stop advertising readiness, let in-flight requests
+	// finish (they wait on pool jobs), then stop the workers.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Error("shutdown", "err", err)
+	}
+	pool.Close()
+	return nil
+}

@@ -37,6 +37,15 @@ type Detector interface {
 // call Fit with a (possibly contaminated, unlabeled) training dataset,
 // then Score held-out samples. The zero value is not usable: Mapping and
 // Detector are required.
+//
+// Concurrency: Fit must complete before any scoring and must not run
+// concurrently with it. After Fit returns, Score, ScoreOne, Explain and
+// Grid only read pipeline state, so a single fitted Pipeline is safe for
+// concurrent use by multiple goroutines — provided the configured
+// Detector's ScoreBatch and the Mapping's Map are themselves read-only,
+// which holds for every implementation in this repository (iforest,
+// ocsvm, lof, and all geometry mappings). internal/serve relies on this
+// guarantee to score HTTP requests from a shared model registry.
 type Pipeline struct {
 	// Smooth configures the functional approximation of Sec. 2. The zero
 	// value selects the paper's defaults (cubic B-splines, LOOCV).
@@ -151,6 +160,46 @@ func (p *Pipeline) Score(test fda.Dataset) ([]float64, error) {
 		return nil, fmt.Errorf("core: detector score: %w", err)
 	}
 	return scores, nil
+}
+
+// ScoreOne smooths, maps and scores a single held-out sample: the
+// single-sample fast path used by the internal/serve micro-batcher. It
+// avoids the Dataset allocation and per-call domain recomputation of
+// Score for the latency-sensitive one-curve request shape. Like Score it
+// is safe for concurrent use once the pipeline is fitted.
+func (p *Pipeline) ScoreOne(s fda.Sample) (float64, error) {
+	if !p.fitted {
+		return 0, fmt.Errorf("core: pipeline not fitted: %w", ErrPipeline)
+	}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	opt := p.Smooth
+	if opt.Lo == opt.Hi {
+		opt.Lo, opt.Hi = p.gridLo, p.gridHi
+	}
+	fit, err := fda.FitSample(s, opt)
+	if err != nil {
+		return 0, fmt.Errorf("core: smoothing: %w", err)
+	}
+	feat, err := p.Mapping.Map(fit, p.grid)
+	if err != nil {
+		return 0, fmt.Errorf("core: mapping: %w", err)
+	}
+	if p.featMean != nil {
+		if len(feat) != len(p.featMean) {
+			return 0, fmt.Errorf("core: feature length %d, trained %d: %w",
+				len(feat), len(p.featMean), ErrPipeline)
+		}
+		for j := range feat {
+			feat[j] = (feat[j] - p.featMean[j]) / p.featScale[j]
+		}
+	}
+	scores, err := p.Detector.ScoreBatch([][]float64{feat})
+	if err != nil {
+		return 0, fmt.Errorf("core: detector score: %w", err)
+	}
+	return scores[0], nil
 }
 
 // Grid returns the common evaluation grid chosen at Fit time.

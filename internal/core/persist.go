@@ -17,8 +17,15 @@ import (
 // (custom basis factories cannot be encoded), the registry mapping
 // functions, and the iForest / one-class SVM detectors.
 
+// pipelineVersion is the current on-disk schema version written by
+// SaveJSON. Version 0 (the field absent) is the original schema; the two
+// are wire-compatible, so LoadPipelineJSON accepts both and rejects
+// anything newer it cannot know how to read.
+const pipelineVersion = 1
+
 // jsonPipeline is the on-disk form of a fitted pipeline.
 type jsonPipeline struct {
+	Version   int          `json:"version"`
 	Smooth    jsonSmooth   `json:"smooth"`
 	Mapping   jsonMapping  `json:"mapping"`
 	Detector  jsonDetector `json:"detector"`
@@ -200,6 +207,7 @@ func (p *Pipeline) SaveJSON(w io.Writer) error {
 		return err
 	}
 	out := jsonPipeline{
+		Version: pipelineVersion,
 		Smooth: jsonSmooth{
 			Order:        p.Smooth.Order,
 			Dims:         p.Smooth.Dims,
@@ -228,6 +236,10 @@ func LoadPipelineJSON(r io.Reader) (*Pipeline, error) {
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decode pipeline: %w", err)
+	}
+	if in.Version < 0 || in.Version > pipelineVersion {
+		return nil, fmt.Errorf("core: pipeline blob has version %d, this build reads <= %d (upgrade the library or re-save the model): %w",
+			in.Version, pipelineVersion, ErrPipeline)
 	}
 	if len(in.Grid) == 0 {
 		return nil, fmt.Errorf("core: pipeline blob has no grid: %w", ErrPipeline)

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/bspline"
@@ -150,5 +152,52 @@ func TestLoadPipelineJSONErrors(t *testing.T) {
 	blob = `{"grid":[0,1],"mapping":{"name":"speed"},"detector":{"name":"bogus","model":{}}}`
 	if _, err := LoadPipelineJSON(bytes.NewBufferString(blob)); !errors.Is(err, ErrPipeline) {
 		t.Fatal("unknown detector must fail")
+	}
+}
+
+func TestPipelineVersioning(t *testing.T) {
+	d := smallECG(t, 20, 14)
+	p := quickPipeline(14)
+	if err := p.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := raw["version"].(float64); !ok || int(v) != pipelineVersion {
+		t.Fatalf("saved blob has version %v, want %d", raw["version"], pipelineVersion)
+	}
+	// A version-absent (v0) blob still loads: strip the field and re-read.
+	delete(raw, "version")
+	v0, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPipelineJSON(bytes.NewReader(v0)); err != nil {
+		t.Fatalf("v0 blob must keep loading: %v", err)
+	}
+	// A blob from the future is rejected with a clear error.
+	raw["version"] = pipelineVersion + 1
+	future, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadPipelineJSON(bytes.NewReader(future))
+	if !errors.Is(err, ErrPipeline) {
+		t.Fatalf("future version must fail with ErrPipeline, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("error should name the version mismatch, got %v", err)
+	}
+	// Negative versions are malformed.
+	raw["version"] = -1
+	bad, _ := json.Marshal(raw)
+	if _, err := LoadPipelineJSON(bytes.NewReader(bad)); !errors.Is(err, ErrPipeline) {
+		t.Fatal("negative version must fail")
 	}
 }

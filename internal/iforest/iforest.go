@@ -45,6 +45,10 @@ type node struct {
 func (nd *node) leaf() bool { return nd.left == nil }
 
 // Forest is a fitted isolation forest. Fit must be called before Score.
+//
+// All randomness is consumed at Fit time; Score, ScoreBatch and the
+// tree walk they share only read the fitted ensemble, so a fitted Forest
+// is safe for concurrent scoring from multiple goroutines.
 type Forest struct {
 	opt   Options
 	trees []*node

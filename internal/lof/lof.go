@@ -24,7 +24,10 @@ type Options struct {
 }
 
 // LOF is a fitted Local Outlier Factor model that scores new points
-// against the training density.
+// against the training density. Score and ScoreBatch only read the
+// precomputed k-distances and densities (neighbour search allocates its
+// own scratch), so a fitted LOF is safe for concurrent scoring from
+// multiple goroutines; the same holds for KNNDist.
 type LOF struct {
 	opt Options
 	x   [][]float64

@@ -26,7 +26,9 @@ type Options struct {
 	MaxIter int
 }
 
-// Model is a fitted one-class SVM.
+// Model is a fitted one-class SVM. Decision, Score and ScoreBatch only
+// read the support set recorded by Fit, so a fitted Model is safe for
+// concurrent scoring from multiple goroutines.
 type Model struct {
 	opt    Options
 	kernel Kernel

@@ -1,0 +1,192 @@
+// Package serve turns a fitted detection pipeline into an online scoring
+// service: a model registry with atomic hot-reload (registry.go), a
+// bounded worker pool that micro-batches concurrent requests (pool.go),
+// a stdlib-only HTTP API (server.go) and this file's hand-rolled
+// Prometheus-text observability layer. The package depends only on the
+// standard library, matching the repository's zero-dependency rule.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-duration
+// histogram: sub-millisecond cache hits through multi-second smoothing of
+// large batches. The final +Inf bucket is implicit.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// reqKey labels one cell of the request counter.
+type reqKey struct {
+	model string
+	code  int
+}
+
+// Metrics aggregates the server's counters, gauges and histograms and
+// renders them in the Prometheus text exposition format. All methods are
+// safe for concurrent use; WritePrometheus emits series in sorted order
+// so scrapes are deterministic.
+type Metrics struct {
+	inflight   atomic.Int64
+	queueDepth func() int // registered gauge; nil until a pool attaches
+
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+	// Request-latency histogram: bucketCounts[i] counts observations
+	// <= latencyBuckets[i]; the +Inf bucket is latSum's count.
+	bucketCounts []uint64
+	latCount     uint64
+	latSum       float64
+	// Micro-batch accounting: how many worker wake-ups and how many jobs
+	// they carried; batchSum/batchCount is the mean batch size.
+	batchCount uint64
+	batchSum   uint64
+	reloads    map[string]uint64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:     make(map[reqKey]uint64),
+		bucketCounts: make([]uint64, len(latencyBuckets)),
+		reloads:      make(map[string]uint64),
+	}
+}
+
+// ObserveRequest records one finished scoring request: its model label,
+// HTTP status code and wall-clock duration in seconds.
+func (m *Metrics) ObserveRequest(model string, code int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{model, code}]++
+	m.latCount++
+	if !math.IsNaN(seconds) && seconds >= 0 {
+		m.latSum += seconds
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			m.bucketCounts[i]++
+		}
+	}
+}
+
+// ObserveBatch records one worker wake-up that carried n jobs.
+func (m *Metrics) ObserveBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.batchCount++
+	m.batchSum += uint64(n)
+	m.mu.Unlock()
+}
+
+// ObserveReload counts one successful hot-reload of the named model.
+func (m *Metrics) ObserveReload(model string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.reloads[model]++
+	m.mu.Unlock()
+}
+
+// IncInflight / DecInflight track requests currently inside the handler.
+func (m *Metrics) IncInflight() {
+	if m != nil {
+		m.inflight.Add(1)
+	}
+}
+
+// DecInflight is the matching decrement.
+func (m *Metrics) DecInflight() {
+	if m != nil {
+		m.inflight.Add(-1)
+	}
+}
+
+// RegisterQueueDepth installs the gauge read at scrape time — the pool's
+// current queue length. Call once during wiring, before serving.
+func (m *Metrics) RegisterQueueDepth(fn func() int) {
+	if m != nil {
+		m.queueDepth = fn
+	}
+}
+
+// WritePrometheus renders every series in the Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP mfod_requests_total Scoring requests by model and HTTP status code.")
+	fmt.Fprintln(w, "# TYPE mfod_requests_total counter")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].model != keys[b].model {
+			return keys[a].model < keys[b].model
+		}
+		return keys[a].code < keys[b].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "mfod_requests_total{model=%q,code=\"%d\"} %d\n", k.model, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP mfod_request_duration_seconds Scoring request latency.")
+	fmt.Fprintln(w, "# TYPE mfod_request_duration_seconds histogram")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "mfod_request_duration_seconds_bucket{le=%q} %d\n",
+			formatBound(ub), m.bucketCounts[i])
+	}
+	fmt.Fprintf(w, "mfod_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount)
+	fmt.Fprintf(w, "mfod_request_duration_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "mfod_request_duration_seconds_count %d\n", m.latCount)
+
+	fmt.Fprintln(w, "# HELP mfod_batch_jobs Jobs carried per worker wake-up (micro-batch size).")
+	fmt.Fprintln(w, "# TYPE mfod_batch_jobs summary")
+	fmt.Fprintf(w, "mfod_batch_jobs_sum %d\n", m.batchSum)
+	fmt.Fprintf(w, "mfod_batch_jobs_count %d\n", m.batchCount)
+
+	if len(m.reloads) > 0 {
+		fmt.Fprintln(w, "# HELP mfod_model_reloads_total Successful hot-reloads by model.")
+		fmt.Fprintln(w, "# TYPE mfod_model_reloads_total counter")
+		names := make([]string, 0, len(m.reloads))
+		for n := range m.reloads {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "mfod_model_reloads_total{model=%q} %d\n", n, m.reloads[n])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP mfod_inflight_requests Requests currently being handled.")
+	fmt.Fprintln(w, "# TYPE mfod_inflight_requests gauge")
+	fmt.Fprintf(w, "mfod_inflight_requests %d\n", m.inflight.Load())
+
+	if m.queueDepth != nil {
+		fmt.Fprintln(w, "# HELP mfod_queue_depth Jobs waiting in the scoring queue.")
+		fmt.Fprintln(w, "# TYPE mfod_queue_depth gauge")
+		fmt.Fprintf(w, "mfod_queue_depth %d\n", m.queueDepth())
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal form ("0.005", "1", "2.5").
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fda"
+)
+
+// ErrQueueFull is returned by Enqueue when the bounded queue is at
+// capacity; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: scoring queue full")
+
+// ErrPoolClosed is returned by Enqueue after Close has begun.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Job is one scoring request travelling through the pool: the resolved
+// model, the curves to score and an optional per-sample explanation
+// count. The submitting handler waits on Wait; the worker delivers
+// exactly one JobResult.
+type Job struct {
+	model   *Model
+	ds      fda.Dataset
+	explain int
+	ctx     context.Context
+	done    chan JobResult
+}
+
+// JobResult carries the outcome of one Job.
+type JobResult struct {
+	// Scores holds one outlyingness score per submitted sample.
+	Scores []float64
+	// Explanations, when requested, holds the top-k deviating grid
+	// positions per sample.
+	Explanations [][]core.Explanation
+	// Err reports a scoring failure for this job only.
+	Err error
+}
+
+// Wait blocks until the worker delivers the result or ctx expires; the
+// second return is false on expiry (the HTTP layer maps it to 504). A
+// job abandoned by its waiter is detected by the worker through the same
+// context and skipped or discarded cheaply.
+func (j *Job) Wait(ctx context.Context) (JobResult, bool) {
+	select {
+	case r := <-j.done:
+		return r, true
+	case <-ctx.Done():
+		return JobResult{}, false
+	}
+}
+
+// PoolOptions configures the worker pool.
+type PoolOptions struct {
+	// Workers is the number of scoring goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// QueueCap bounds the number of queued (not yet running) jobs; 0
+	// means 64. A full queue rejects new work instead of building an
+	// unbounded backlog.
+	QueueCap int
+	// MaxBatch caps how many queued jobs one worker wake-up drains and
+	// scores together; 0 means 16. Jobs for the same model in a drained
+	// batch share a single Pipeline.Score call.
+	MaxBatch int
+	// Metrics receives batch-size and queue-depth observations; may be
+	// nil.
+	Metrics *Metrics
+}
+
+// Pool is a bounded worker pool that micro-batches scoring jobs. Workers
+// drain bursts of queued jobs, group them by model and score each group
+// with one batched pipeline call, so concurrent requests amortize the
+// per-call overhead while the bounded queue keeps overload failures fast
+// and explicit.
+type Pool struct {
+	queue    chan *Job
+	maxBatch int
+	metrics  *Metrics
+
+	mu     sync.RWMutex // guards closed vs. sends on queue
+	closed bool
+	wg     sync.WaitGroup
+
+	// testHook, when set (tests only), runs at the start of every batch
+	// before any scoring; it lets tests hold a worker to fill the queue.
+	testHook func(batch []*Job)
+}
+
+// NewPool starts the workers and returns the pool. Call Close to drain.
+func NewPool(opt PoolOptions) *Pool {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.QueueCap <= 0 {
+		opt.QueueCap = 64
+	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 16
+	}
+	p := &Pool{
+		queue:    make(chan *Job, opt.QueueCap),
+		maxBatch: opt.MaxBatch,
+		metrics:  opt.Metrics,
+	}
+	if p.metrics != nil {
+		p.metrics.RegisterQueueDepth(p.QueueDepth)
+	}
+	p.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// QueueDepth returns the number of jobs waiting in the queue.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Enqueue submits curves for scoring against m's current pipeline
+// snapshot. It never blocks: a full queue returns ErrQueueFull
+// immediately. ctx bounds the job's whole life — queue wait plus
+// scoring.
+func (p *Pool) Enqueue(ctx context.Context, m *Model, ds fda.Dataset, explain int) (*Job, error) {
+	j := &Job{model: m, ds: ds, explain: explain, ctx: ctx, done: make(chan JobResult, 1)}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	select {
+	case p.queue <- j:
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Close stops accepting work and blocks until the workers have drained
+// every queued job — the graceful-shutdown path. Safe to call once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker drains bursts of jobs and scores them grouped by model.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		batch := []*Job{j}
+		for len(batch) < p.maxBatch {
+			select {
+			case extra, ok := <-p.queue:
+				if !ok {
+					p.runBatch(batch)
+					return
+				}
+				batch = append(batch, extra)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		p.runBatch(batch)
+	}
+}
+
+// runBatch groups a drained batch by model and scores each group with a
+// single batched call against that model's current pipeline snapshot.
+func (p *Pool) runBatch(batch []*Job) {
+	if p.testHook != nil {
+		p.testHook(batch)
+	}
+	p.metrics.ObserveBatch(len(batch))
+	// Group by model preserving arrival order within each group.
+	order := make([]*Model, 0, len(batch))
+	groups := make(map[*Model][]*Job, len(batch))
+	for _, j := range batch {
+		if j.ctx.Err() != nil {
+			// The waiter is gone (deadline or disconnect): don't burn
+			// smoothing time on an answer nobody reads.
+			j.done <- JobResult{Err: j.ctx.Err()}
+			continue
+		}
+		if _, ok := groups[j.model]; !ok {
+			order = append(order, j.model)
+		}
+		groups[j.model] = append(groups[j.model], j)
+	}
+	for _, m := range order {
+		p.runGroup(m.Pipeline(), groups[m])
+	}
+}
+
+// runGroup scores all jobs of one model together. On a batched failure
+// (e.g. one request's curves have the wrong dimension) it falls back to
+// per-job scoring so a malformed request cannot fail its batch
+// neighbours.
+func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
+	if len(jobs) == 1 && jobs[0].ds.Len() == 1 && jobs[0].explain == 0 {
+		// Single curve, no explanations: the allocation-light fast path.
+		s, err := pipe.ScoreOne(jobs[0].ds.Samples[0])
+		if err != nil {
+			jobs[0].done <- JobResult{Err: err}
+			return
+		}
+		jobs[0].done <- JobResult{Scores: []float64{s}}
+		return
+	}
+	merged := fda.Dataset{}
+	for _, j := range jobs {
+		merged.Samples = append(merged.Samples, j.ds.Samples...)
+	}
+	scores, err := pipe.Score(merged)
+	if err != nil {
+		if len(jobs) == 1 {
+			jobs[0].done <- JobResult{Err: err}
+			return
+		}
+		for _, j := range jobs {
+			p.runGroup(pipe, []*Job{j})
+		}
+		return
+	}
+	off := 0
+	for _, j := range jobs {
+		n := j.ds.Len()
+		res := JobResult{Scores: scores[off : off+n : off+n]}
+		off += n
+		if j.explain > 0 {
+			res.Explanations = make([][]core.Explanation, n)
+			for i := 0; i < n; i++ {
+				exp, err := pipe.Explain(j.ds, i, j.explain)
+				if err != nil {
+					res = JobResult{Err: fmt.Errorf("serve: explain sample %d: %w", i, err)}
+					break
+				}
+				res.Explanations[i] = exp
+			}
+		}
+		j.done <- res
+	}
+}

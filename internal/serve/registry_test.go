@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestRegistryLoadGetNames(t *testing.T) {
+	dir := t.TempDir()
+	pathA, _, dsA := saveModel(t, dir, "a.json", 1)
+	pathB, _, _ := saveModel(t, dir, "b.json", 2)
+	r := NewRegistry()
+	if err := r.Load("alpha", pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load("beta", pathB); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Names() = %v", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+	m, ok := r.Get("alpha")
+	if !ok {
+		t.Fatal("alpha not found")
+	}
+	if m.Name() != "alpha" || m.Path() != pathA {
+		t.Fatalf("metadata wrong: %q %q", m.Name(), m.Path())
+	}
+	if _, err := m.Pipeline().Score(dsA); err != nil {
+		t.Fatalf("loaded pipeline cannot score: %v", err)
+	}
+	if _, ok := r.Get("gamma"); ok {
+		t.Fatal("unknown model must not resolve")
+	}
+}
+
+func TestRegistryLoadErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Load("x", "/nonexistent/model.json"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if err := r.Load("", "whatever"); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load("x", bad); err == nil {
+		t.Fatal("corrupt file must fail")
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed loads must not register")
+	}
+}
+
+func TestRegistryReloadSwapsAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path, _, _ := saveModel(t, dir, "m.json", 3)
+	r := NewRegistry()
+	if err := r.Load("m", path); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := r.Get("m")
+	before := m.Pipeline()
+	t0 := m.LoadedAt()
+
+	// Overwrite the file with a different fitted model and reload.
+	path2, _, _ := saveModel(t, dir, "m2.json", 4)
+	blob, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("m"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pipeline() == before {
+		t.Fatal("reload must swap the pipeline snapshot")
+	}
+	if !m.LoadedAt().After(t0) {
+		t.Fatal("reload must refresh LoadedAt")
+	}
+
+	// A bad file refuses the swap and keeps the old snapshot serving.
+	current := m.Pipeline()
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("m"); err == nil {
+		t.Fatal("corrupt reload must fail")
+	}
+	if m.Pipeline() != current {
+		t.Fatal("failed reload must keep the previous snapshot")
+	}
+
+	if err := r.Reload("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown reload error = %v", err)
+	}
+}
+
+// TestRegistryConcurrentReloadAndScore exercises reads racing reloads;
+// meaningful under -race.
+func TestRegistryConcurrentReloadAndScore(t *testing.T) {
+	dir := t.TempDir()
+	path, _, ds := saveModel(t, dir, "m.json", 5)
+	r := NewRegistry()
+	if err := r.Load("m", path); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := r.Get("m")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := m.Pipeline().ScoreOne(ds.Samples[i]); err != nil {
+					t.Errorf("score during reload: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := r.Reload("m"); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

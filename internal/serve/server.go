@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fda"
+	"repro/internal/geometry"
+)
+
+// Config wires a Server together. Registry and Pool are required;
+// Metrics and Logger may be nil (observability off, logging discarded).
+type Config struct {
+	Registry *Registry
+	Pool     *Pool
+	Metrics  *Metrics
+	// Timeout bounds one request end to end (queue wait + scoring);
+	// 0 means 30s. Requests may shorten it per call with ?timeout=500ms
+	// but never exceed it.
+	Timeout time.Duration
+	// MaxBodyBytes caps the request body; 0 means 32 MiB.
+	MaxBodyBytes int64
+	Logger       *slog.Logger
+}
+
+// Server exposes fitted pipelines over HTTP:
+//
+//	POST /v1/models/{name}:score    score curves, optional explanations
+//	POST /v1/models/{name}:reload   atomic hot-reload from disk
+//	GET  /v1/models                 list loaded models
+//	GET  /v1/models/{name}          one model's metadata
+//	GET  /healthz                   liveness (always 200 while up)
+//	GET  /readyz                    readiness (503 before models / while draining)
+//	GET  /metrics                   Prometheus text exposition
+type Server struct {
+	cfg      Config
+	draining atomic.Bool
+}
+
+// NewServer validates the config and returns a Server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil || cfg.Pool == nil {
+		return nil, errors.New("serve: Config needs Registry and Pool")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Drain flips readiness to 503 so load balancers stop sending new work;
+// in-flight requests keep running. Part of the graceful-shutdown
+// sequence: Drain → http.Server.Shutdown → Pool.Close.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Handler returns the routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if s.cfg.Registry.Len() == 0 {
+			http.Error(w, "no models loaded", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.cfg.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /v1/models", s.handleList)
+	mux.HandleFunc("/v1/models/", s.handleModel)
+	return mux
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// modelInfo is the metadata shape of the list and get endpoints.
+type modelInfo struct {
+	Name     string    `json:"name"`
+	Path     string    `json:"path"`
+	LoadedAt time.Time `json:"loadedAt"`
+	Mapping  string    `json:"mapping"`
+	Detector string    `json:"detector"`
+	GridSize int       `json:"gridSize"`
+}
+
+func describe(m *Model) modelInfo {
+	p := m.Pipeline()
+	return modelInfo{
+		Name:     m.Name(),
+		Path:     m.Path(),
+		LoadedAt: m.LoadedAt(),
+		Mapping:  p.Mapping.Name(),
+		Detector: p.Detector.Name(),
+		GridSize: len(p.Grid()),
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	names := s.cfg.Registry.Names()
+	infos := make([]modelInfo, 0, len(names))
+	for _, n := range names {
+		if m, ok := s.cfg.Registry.Get(n); ok {
+			infos = append(infos, describe(m))
+		}
+	}
+	writeJSON(w, map[string][]modelInfo{"models": infos})
+}
+
+// handleModel routes /v1/models/{name}, /v1/models/{name}:score and
+// /v1/models/{name}:reload. The colon-verb suffix cannot be expressed
+// as a ServeMux wildcard, so the tail is parsed here.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	tail := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	name, action, hasAction := strings.Cut(tail, ":")
+	if name == "" || strings.Contains(name, "/") {
+		jsonError(w, http.StatusNotFound, "no such route %q", r.URL.Path)
+		return
+	}
+	switch {
+	case !hasAction && r.Method == http.MethodGet:
+		m, ok := s.cfg.Registry.Get(name)
+		if !ok {
+			jsonError(w, http.StatusNotFound, "unknown model %q", name)
+			return
+		}
+		writeJSON(w, describe(m))
+	case action == "score" && r.Method == http.MethodPost:
+		s.handleScore(w, r, name)
+	case action == "reload" && r.Method == http.MethodPost:
+		s.handleReload(w, r, name)
+	case hasAction && (action == "score" || action == "reload"):
+		jsonError(w, http.StatusMethodNotAllowed, "%s requires POST", action)
+	default:
+		jsonError(w, http.StatusNotFound, "unknown action %q", action)
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, name string) {
+	start := time.Now()
+	code := http.StatusOK
+	err := s.cfg.Registry.Reload(name)
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		code = http.StatusNotFound
+		jsonError(w, code, "unknown model %q", name)
+	case err != nil:
+		// The previous snapshot keeps serving; tell the operator why the
+		// swap was refused.
+		code = http.StatusInternalServerError
+		jsonError(w, code, "reload failed, previous model still serving: %v", err)
+	default:
+		s.cfg.Metrics.ObserveReload(name)
+		writeJSON(w, map[string]string{"reloaded": name})
+	}
+	s.cfg.Metrics.ObserveRequest(name, code, time.Since(start).Seconds())
+	s.log(r, name, code, start, 0)
+}
+
+// scoreRequest is the body of POST /v1/models/{name}:score. Samples use
+// the same shape as the dataset JSON files written by this repository.
+type scoreRequest struct {
+	Samples []struct {
+		Times  []float64   `json:"times"`
+		Values [][]float64 `json:"values"`
+	} `json:"samples"`
+	// Explain asks for the top-k most deviating grid positions per
+	// sample; 0 disables. Requires a model fitted with Standardize.
+	Explain int `json:"explain,omitempty"`
+}
+
+type jsonExplanation struct {
+	Feature int     `json:"feature"`
+	T       float64 `json:"t"`
+	Z       float64 `json:"z"`
+}
+
+type scoreResponse struct {
+	Model        string              `json:"model"`
+	Scores       []float64           `json:"scores"`
+	Explanations [][]jsonExplanation `json:"explanations,omitempty"`
+	ElapsedMs    float64             `json:"elapsedMs"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, name string) {
+	start := time.Now()
+	s.cfg.Metrics.IncInflight()
+	defer s.cfg.Metrics.DecInflight()
+	code, samples := s.score(w, r, name, start)
+	s.cfg.Metrics.ObserveRequest(name, code, time.Since(start).Seconds())
+	s.log(r, name, code, start, samples)
+}
+
+// score runs one scoring request and returns the status code it wrote.
+func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, start time.Time) (code, samples int) {
+	m, ok := s.cfg.Registry.Get(name)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "unknown model %q", name)
+		return http.StatusNotFound, 0
+	}
+	var req scoreRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "decode body: %v", err)
+		return http.StatusBadRequest, 0
+	}
+	if len(req.Samples) == 0 {
+		jsonError(w, http.StatusBadRequest, "body has no samples")
+		return http.StatusBadRequest, 0
+	}
+	ds := fda.Dataset{Samples: make([]fda.Sample, len(req.Samples))}
+	for i, sm := range req.Samples {
+		ds.Samples[i] = fda.Sample{Times: sm.Times, Values: sm.Values}
+	}
+	if err := ds.Validate(); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid curves: %v", err)
+		return http.StatusBadRequest, len(req.Samples)
+	}
+	timeout := s.cfg.Timeout
+	if qs := r.URL.Query().Get("timeout"); qs != "" {
+		d, err := time.ParseDuration(qs)
+		if err != nil || d <= 0 {
+			jsonError(w, http.StatusBadRequest, "bad timeout %q", qs)
+			return http.StatusBadRequest, len(req.Samples)
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	job, err := s.cfg.Pool.Enqueue(ctx, m, ds, req.Explain)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusTooManyRequests, "scoring queue full, retry later")
+		return http.StatusTooManyRequests, len(req.Samples)
+	case errors.Is(err, ErrPoolClosed):
+		jsonError(w, http.StatusServiceUnavailable, "server shutting down")
+		return http.StatusServiceUnavailable, len(req.Samples)
+	case err != nil:
+		jsonError(w, http.StatusInternalServerError, "enqueue: %v", err)
+		return http.StatusInternalServerError, len(req.Samples)
+	}
+	res, done := job.Wait(ctx)
+	if !done || errors.Is(res.Err, context.DeadlineExceeded) {
+		jsonError(w, http.StatusGatewayTimeout, "scoring did not finish within %v", timeout)
+		return http.StatusGatewayTimeout, len(req.Samples)
+	}
+	if res.Err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(res.Err, fda.ErrData) || errors.Is(res.Err, core.ErrPipeline) ||
+			errors.Is(res.Err, geometry.ErrMapping) {
+			// The model cannot score these curves (wrong dimension,
+			// explain without Standardize, …): the request is at fault.
+			code = http.StatusUnprocessableEntity
+		}
+		jsonError(w, code, "score: %v", res.Err)
+		return code, len(req.Samples)
+	}
+	resp := scoreResponse{
+		Model:     name,
+		Scores:    res.Scores,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if res.Explanations != nil {
+		resp.Explanations = make([][]jsonExplanation, len(res.Explanations))
+		for i, exps := range res.Explanations {
+			out := make([]jsonExplanation, len(exps))
+			for k, e := range exps {
+				out[k] = jsonExplanation{Feature: e.FeatureIndex, T: e.T, Z: e.Z}
+			}
+			resp.Explanations[i] = out
+		}
+	}
+	writeJSON(w, resp)
+	return http.StatusOK, len(req.Samples)
+}
+
+func (s *Server) log(r *http.Request, model string, code int, start time.Time, samples int) {
+	s.cfg.Logger.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"model", model,
+		"code", code,
+		"samples", samples,
+		"durMs", float64(time.Since(start).Microseconds())/1000,
+	)
+}
