@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race bench check
+.PHONY: build vet test test-race test-chaos bench check
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,14 @@ test:
 test-race:
 	$(GO) test -race ./internal/serve ./internal/core ./cmd/mfodserve
 
+# Chaos gate: the fault-injection and resilience packages plus the serve
+# chaos suite (Chaos* tests arm faultinject points), under the race
+# detector with MFOD_CHAOS=1 amplifying scenario repetitions.
+test-chaos:
+	MFOD_CHAOS=1 $(GO) test -race -count=1 \
+		./internal/faultinject ./internal/resilience ./internal/serve
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-check: build vet test test-race
+check: build vet test test-race test-chaos

@@ -13,13 +13,27 @@
 // (transductive use); with -train it is fitted on the training file and
 // applied to -in. When the input carries labels, the test AUC is printed
 // as a footer.
+//
+// With -remote the curves are not scored locally at all: they are POSTed
+// to a running mfodserve instance, with transient failures (connection
+// errors, 429, 5xx) retried under exponential backoff and a circuit
+// breaker — see internal/resilience:
+//
+//	mfoddetect -in curves.csv -remote http://localhost:8080 -remote-model ecg
+//	           [-remote-attempts 4] [-remote-backoff 100ms] [-remote-breaker 5]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -28,22 +42,50 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/iforest"
 	"repro/internal/lof"
+	"repro/internal/resilience"
 )
 
+// options collects every flag; run dispatches on them so tests can drive
+// the binary without a process boundary.
+type options struct {
+	in       string
+	train    string
+	mapping  string
+	detector string
+	saveTo   string
+	model    string
+	top      int
+	explain  int
+	seed     int64
+
+	// Remote mode: score against a running mfodserve instead of locally.
+	remote         string // base URL; empty means local scoring
+	remoteModel    string // model name registered on the server
+	remoteAttempts int
+	remoteBackoff  time.Duration
+	remoteBreaker  int
+	remoteTimeout  time.Duration
+}
+
 func main() {
-	var (
-		in       = flag.String("in", "", "CSV of curves to score (required)")
-		train    = flag.String("train", "", "optional CSV to fit on (default: fit on -in)")
-		mapping  = flag.String("mapping", "log-curvature", "mapping function (see geometry registry)")
-		detector = flag.String("detector", "ifor", "detector: ifor, ocsvm, lof, knn")
-		top      = flag.Int("top", 0, "print only the top-k most outlying samples (0 = all)")
-		explain  = flag.Int("explain", 0, "for each printed sample, show the k grid regions that deviate most")
-		saveTo   = flag.String("save", "", "write the fitted pipeline to this JSON file")
-		model    = flag.String("model", "", "score with a previously saved pipeline instead of fitting")
-		seed     = flag.Int64("seed", 1, "random seed for stochastic detectors")
-	)
+	var o options
+	flag.StringVar(&o.in, "in", "", "CSV of curves to score (required)")
+	flag.StringVar(&o.train, "train", "", "optional CSV to fit on (default: fit on -in)")
+	flag.StringVar(&o.mapping, "mapping", "log-curvature", "mapping function (see geometry registry)")
+	flag.StringVar(&o.detector, "detector", "ifor", "detector: ifor, ocsvm, lof, knn")
+	flag.IntVar(&o.top, "top", 0, "print only the top-k most outlying samples (0 = all)")
+	flag.IntVar(&o.explain, "explain", 0, "for each printed sample, show the k grid regions that deviate most")
+	flag.StringVar(&o.saveTo, "save", "", "write the fitted pipeline to this JSON file")
+	flag.StringVar(&o.model, "model", "", "score with a previously saved pipeline instead of fitting")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed for stochastic detectors")
+	flag.StringVar(&o.remote, "remote", "", "base URL of an mfodserve instance; score remotely instead of fitting locally")
+	flag.StringVar(&o.remoteModel, "remote-model", "", "model name on the remote server (required with -remote)")
+	flag.IntVar(&o.remoteAttempts, "remote-attempts", 4, "total tries per remote request (transient failures retried)")
+	flag.DurationVar(&o.remoteBackoff, "remote-backoff", 100*time.Millisecond, "base delay between remote retries (grows exponentially)")
+	flag.IntVar(&o.remoteBreaker, "remote-breaker", 5, "consecutive remote failures that open the circuit breaker")
+	flag.DurationVar(&o.remoteTimeout, "remote-timeout", 30*time.Second, "per-attempt HTTP timeout for remote scoring")
 	flag.Parse()
-	if err := run(*in, *train, *mapping, *detector, *saveTo, *model, *top, *explain, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mfoddetect:", err)
 		os.Exit(1)
 	}
@@ -73,65 +115,14 @@ func readCSVFile(path string) (fda.Dataset, error) {
 	return dataset.ReadCSV(f)
 }
 
-func run(in, train, mapping, detector, saveTo, model string, top, explain int, seed int64) error {
-	if in == "" {
-		return fmt.Errorf("-in is required")
-	}
-	testSet, err := readCSVFile(in)
-	if err != nil {
-		return fmt.Errorf("read %s: %w", in, err)
-	}
-	var p *core.Pipeline
-	if model != "" {
-		// Score with a previously fitted pipeline.
-		f, err := os.Open(model)
-		if err != nil {
-			return err
-		}
-		p, err = core.LoadPipelineJSON(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("load %s: %w", model, err)
-		}
-	} else {
-		m, ok := geometry.Registry()[mapping]
-		if !ok {
-			return fmt.Errorf("unknown mapping %q", mapping)
-		}
-		det, err := buildDetector(detector, seed)
-		if err != nil {
-			return err
-		}
-		trainSet := testSet
-		if train != "" {
-			trainSet, err = readCSVFile(train)
-			if err != nil {
-				return fmt.Errorf("read %s: %w", train, err)
-			}
-		}
-		p = &core.Pipeline{Mapping: m, Detector: det, Standardize: true}
-		if err := p.Fit(trainSet); err != nil {
-			return err
-		}
-	}
-	if saveTo != "" {
-		f, err := os.Create(saveTo)
-		if err != nil {
-			return err
-		}
-		if err := p.SaveJSON(f); err != nil {
-			f.Close()
-			return fmt.Errorf("save %s: %w", saveTo, err)
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("(pipeline saved to %s)\n", saveTo)
-	}
-	scores, err := p.Score(testSet)
-	if err != nil {
-		return err
-	}
+// expLine is one printable explanation row (grid position, z-deviation).
+type expLine struct {
+	t, z float64
+}
+
+// report prints scores highest-first with optional labels and per-sample
+// explanation lines; explain may be nil.
+func report(scores []float64, labels []int, top int, explain func(i int) ([]expLine, error)) error {
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
@@ -143,24 +134,188 @@ func run(in, train, mapping, detector, saveTo, model string, top, explain int, s
 	fmt.Printf("%-8s %-12s %s\n", "sample", "score", "label")
 	for _, i := range idx[:top] {
 		label := "-"
-		if testSet.Labels != nil {
-			label = fmt.Sprintf("%d", testSet.Labels[i])
+		if labels != nil {
+			label = fmt.Sprintf("%d", labels[i])
 		}
 		fmt.Printf("%-8d %-12.6f %s\n", i, scores[i], label)
-		if explain > 0 {
-			exps, err := p.Explain(testSet, i, explain)
+		if explain != nil {
+			lines, err := explain(i)
 			if err != nil {
 				return err
 			}
-			for _, e := range exps {
-				fmt.Printf("         t=%-8.3f z=%+.2f\n", e.T, e.Z)
+			for _, e := range lines {
+				fmt.Printf("         t=%-8.3f z=%+.2f\n", e.t, e.z)
 			}
 		}
+	}
+	return nil
+}
+
+func run(o options) error {
+	if o.remote != "" {
+		return runRemote(o)
+	}
+	if o.in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	testSet, err := readCSVFile(o.in)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", o.in, err)
+	}
+	var p *core.Pipeline
+	if o.model != "" {
+		// Score with a previously fitted pipeline.
+		f, err := os.Open(o.model)
+		if err != nil {
+			return err
+		}
+		p, err = core.LoadPipelineJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w", o.model, err)
+		}
+	} else {
+		m, ok := geometry.Registry()[o.mapping]
+		if !ok {
+			return fmt.Errorf("unknown mapping %q", o.mapping)
+		}
+		det, err := buildDetector(o.detector, o.seed)
+		if err != nil {
+			return err
+		}
+		trainSet := testSet
+		if o.train != "" {
+			trainSet, err = readCSVFile(o.train)
+			if err != nil {
+				return fmt.Errorf("read %s: %w", o.train, err)
+			}
+		}
+		p = &core.Pipeline{Mapping: m, Detector: det, Standardize: true}
+		if err := p.Fit(trainSet); err != nil {
+			return err
+		}
+	}
+	if o.saveTo != "" {
+		f, err := os.Create(o.saveTo)
+		if err != nil {
+			return err
+		}
+		if err := p.SaveJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("save %s: %w", o.saveTo, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(pipeline saved to %s)\n", o.saveTo)
+	}
+	scores, err := p.Score(testSet)
+	if err != nil {
+		return err
+	}
+	var explain func(i int) ([]expLine, error)
+	if o.explain > 0 {
+		explain = func(i int) ([]expLine, error) {
+			exps, err := p.Explain(testSet, i, o.explain)
+			if err != nil {
+				return nil, err
+			}
+			lines := make([]expLine, len(exps))
+			for k, e := range exps {
+				lines[k] = expLine{t: e.T, z: e.Z}
+			}
+			return lines, nil
+		}
+	}
+	if err := report(scores, testSet.Labels, o.top, explain); err != nil {
+		return err
 	}
 	if testSet.Labels != nil {
 		auc, err := eval.AUC(scores, testSet.Labels)
 		if err == nil {
 			fmt.Printf("AUC: %.4f  (mapping=%s detector=%s)\n", auc, p.Mapping.Name(), p.Detector.Name())
+		}
+	}
+	return nil
+}
+
+// runRemote scores -in against a running mfodserve instance through the
+// resilience client: transient failures are retried with exponential
+// backoff and repeated failures open a circuit breaker instead of
+// hammering a down service.
+func runRemote(o options) error {
+	if o.in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	if o.remoteModel == "" {
+		return fmt.Errorf("-remote needs -remote-model")
+	}
+	testSet, err := readCSVFile(o.in)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", o.in, err)
+	}
+	type jsonSample struct {
+		Times  []float64   `json:"times"`
+		Values [][]float64 `json:"values"`
+	}
+	reqBody := struct {
+		Samples []jsonSample `json:"samples"`
+		Explain int          `json:"explain,omitempty"`
+	}{Explain: o.explain}
+	for _, s := range testSet.Samples {
+		reqBody.Samples = append(reqBody.Samples, jsonSample{Times: s.Times, Values: s.Values})
+	}
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	client := &resilience.Client{
+		HTTP:        &http.Client{Timeout: o.remoteTimeout},
+		MaxAttempts: o.remoteAttempts,
+		Backoff:     &resilience.Backoff{Base: o.remoteBackoff, Seed: o.seed},
+		Budget:      resilience.NewBudget(0, 0),
+		Breaker:     resilience.NewBreaker(o.remoteBreaker, time.Second),
+	}
+	url := strings.TrimSuffix(o.remote, "/") + "/v1/models/" + o.remoteModel + ":score"
+	resp, err := client.PostJSON(context.Background(), url, body)
+	if err != nil {
+		return fmt.Errorf("remote score: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("remote score: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out struct {
+		Scores       []float64 `json:"scores"`
+		Explanations [][]struct {
+			T float64 `json:"t"`
+			Z float64 `json:"z"`
+		} `json:"explanations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("remote score: decode response: %w", err)
+	}
+	if len(out.Scores) != testSet.Len() {
+		return fmt.Errorf("remote score: %d scores for %d samples", len(out.Scores), testSet.Len())
+	}
+	var explain func(i int) ([]expLine, error)
+	if o.explain > 0 && out.Explanations != nil {
+		explain = func(i int) ([]expLine, error) {
+			lines := make([]expLine, len(out.Explanations[i]))
+			for k, e := range out.Explanations[i] {
+				lines[k] = expLine{t: e.T, z: e.Z}
+			}
+			return lines, nil
+		}
+	}
+	if err := report(out.Scores, testSet.Labels, o.top, explain); err != nil {
+		return err
+	}
+	if testSet.Labels != nil {
+		auc, err := eval.AUC(out.Scores, testSet.Labels)
+		if err == nil {
+			fmt.Printf("AUC: %.4f  (remote model=%s)\n", auc, o.remoteModel)
 		}
 	}
 	return nil

@@ -1,12 +1,19 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/geometry"
+	"repro/internal/serve"
 )
 
 func writeTestCSV(t *testing.T, n int, seed int64) string {
@@ -29,7 +36,7 @@ func writeTestCSV(t *testing.T, n int, seed int64) string {
 
 func TestRunTransductive(t *testing.T) {
 	in := writeTestCSV(t, 30, 1)
-	if err := run(in, "", "log-curvature", "ifor", "", "", 5, 3, 1); err != nil {
+	if err := run(options{in: in, mapping: "log-curvature", detector: "ifor", top: 5, explain: 3, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,7 +44,7 @@ func TestRunTransductive(t *testing.T) {
 func TestRunTrainTestSplitFiles(t *testing.T) {
 	train := writeTestCSV(t, 30, 2)
 	test := writeTestCSV(t, 20, 3)
-	if err := run(test, train, "curvature", "knn", "", "", 0, 0, 1); err != nil {
+	if err := run(options{in: test, train: train, mapping: "curvature", detector: "knn", seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -45,7 +52,7 @@ func TestRunTrainTestSplitFiles(t *testing.T) {
 func TestRunEveryDetector(t *testing.T) {
 	in := writeTestCSV(t, 24, 4)
 	for _, det := range []string{"ifor", "lof", "knn"} {
-		if err := run(in, "", "log-curvature", det, "", "", 3, 0, 1); err != nil {
+		if err := run(options{in: in, mapping: "log-curvature", detector: det, top: 3, seed: 1}); err != nil {
 			t.Fatalf("%s: %v", det, err)
 		}
 	}
@@ -54,16 +61,16 @@ func TestRunEveryDetector(t *testing.T) {
 func TestRunSaveAndReuseModel(t *testing.T) {
 	in := writeTestCSV(t, 24, 6)
 	modelPath := filepath.Join(t.TempDir(), "model.json")
-	if err := run(in, "", "log-curvature", "ifor", modelPath, "", 3, 0, 1); err != nil {
+	if err := run(options{in: in, mapping: "log-curvature", detector: "ifor", saveTo: modelPath, top: 3, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Score fresh data with the saved model, no refit.
 	fresh := writeTestCSV(t, 12, 7)
-	if err := run(fresh, "", "", "", "", modelPath, 3, 0, 1); err != nil {
+	if err := run(options{in: fresh, model: modelPath, top: 3, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// A missing model file fails cleanly.
-	if err := run(fresh, "", "", "", "", filepath.Join(t.TempDir(), "no.json"), 0, 0, 1); err == nil {
+	if err := run(options{in: fresh, model: filepath.Join(t.TempDir(), "no.json"), seed: 1}); err == nil {
 		t.Fatal("missing model must fail")
 	}
 }
@@ -75,14 +82,124 @@ func TestBuildDetectorUnknown(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "curvature", "ifor", "", "", 0, 0, 1); err == nil {
+	if err := run(options{mapping: "curvature", detector: "ifor", seed: 1}); err == nil {
 		t.Fatal("missing -in must fail")
 	}
 	in := writeTestCSV(t, 10, 5)
-	if err := run(in, "", "bogus-mapping", "ifor", "", "", 0, 0, 1); err == nil || !strings.Contains(err.Error(), "unknown mapping") {
+	if err := run(options{in: in, mapping: "bogus-mapping", detector: "ifor", seed: 1}); err == nil || !strings.Contains(err.Error(), "unknown mapping") {
 		t.Fatalf("err = %v", err)
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", "curvature", "ifor", "", "", 0, 0, 1); err == nil {
+	if err := run(options{in: filepath.Join(t.TempDir(), "missing.csv"), mapping: "curvature", detector: "ifor", seed: 1}); err == nil {
 		t.Fatal("missing file must fail")
+	}
+}
+
+// remoteServer boots a real serve.Server around a model fitted on the
+// curves in csvPath, fronted by a shim that fails the first failN
+// requests with failCode — the flaky upstream the resilience client is
+// built for. It returns the server URL and the per-request counter.
+func remoteServer(t *testing.T, csvPath string, failN int64, failCode int) (string, *atomic.Int64) {
+	t.Helper()
+	// Fit on the same curves the remote run will score and persist the
+	// pipeline the way an operator would (mfoddetect -save).
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	ds, err := readCSVFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := buildDetector("ifor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Pipeline{Mapping: geometry.LogCurvature{}, Detector: det, Standardize: true}
+	if err := p.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SaveJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := serve.NewRegistry()
+	if err := reg.Load("ecg", modelPath); err != nil {
+		t.Fatal(err)
+	}
+	pool := serve.NewPool(serve.PoolOptions{Workers: 2})
+	t.Cleanup(pool.Close)
+	srv, err := serve.NewServer(serve.Config{Registry: reg, Pool: pool, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := srv.Handler()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failN {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "injected outage", failCode)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL, &calls
+}
+
+func TestRunRemoteEndToEnd(t *testing.T) {
+	in := writeTestCSV(t, 20, 8)
+	url, calls := remoteServer(t, in, 2, http.StatusServiceUnavailable)
+	err := run(options{
+		in:             in,
+		remote:         url,
+		remoteModel:    "ecg",
+		remoteAttempts: 5,
+		remoteBackoff:  time.Millisecond,
+		remoteBreaker:  10,
+		remoteTimeout:  10 * time.Second,
+		top:            5,
+		explain:        2,
+		seed:           1,
+	})
+	if err != nil {
+		t.Fatalf("remote run against flaky server: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestRunRemoteBreakerOpens(t *testing.T) {
+	in := writeTestCSV(t, 10, 9)
+	url, calls := remoteServer(t, in, 1<<30, http.StatusInternalServerError)
+	err := run(options{
+		in:             in,
+		remote:         url,
+		remoteModel:    "ecg",
+		remoteAttempts: 6,
+		remoteBackoff:  time.Millisecond,
+		remoteBreaker:  2,
+		remoteTimeout:  10 * time.Second,
+		seed:           1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "circuit open") {
+		t.Fatalf("err = %v, want open circuit", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (breaker cut the rest)", got)
+	}
+}
+
+func TestRunRemoteArgErrors(t *testing.T) {
+	if err := run(options{remote: "http://localhost:1", seed: 1}); err == nil {
+		t.Fatal("remote without -in must fail")
+	}
+	in := writeTestCSV(t, 10, 10)
+	if err := run(options{in: in, remote: "http://localhost:1", seed: 1}); err == nil || !strings.Contains(err.Error(), "-remote-model") {
+		t.Fatalf("err = %v, want missing -remote-model", err)
 	}
 }

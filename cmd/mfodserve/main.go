@@ -8,7 +8,7 @@
 //
 //	mfodserve -model ecg=model.json [-model other=o.json ...]
 //	          [-addr :8080] [-workers 8] [-queue 256] [-batch 16]
-//	          [-timeout 30s] [-quiet]
+//	          [-timeout 30s] [-max-body 33554432] [-quiet]
 //
 // Endpoints:
 //
@@ -20,6 +20,11 @@
 //
 // On SIGINT/SIGTERM the server drains gracefully: readiness flips to
 // 503, in-flight requests finish, then the worker pool shuts down.
+//
+// For chaos testing, the MFOD_FAULTS environment variable arms
+// fault-injection points before the server starts, e.g.
+// MFOD_FAULTS="serve.registry.reload=error" — see internal/faultinject
+// and the "Resilience" section of README.md.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
@@ -56,33 +62,53 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// serveOptions collects every flag plus the test-only ready channel, so
+// tests can drive the binary without a process boundary.
+type serveOptions struct {
+	addr    string
+	models  []string
+	workers int
+	queue   int
+	batch   int
+	maxBody int64
+	timeout time.Duration
+	quiet   bool
+	faults  string        // MFOD_FAULTS spec, armed before serving
+	ready   chan<- string // tests only: receives the bound address
+}
+
 func main() {
 	var models modelFlags
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "scoring goroutines (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 256, "bounded scoring-queue capacity (full queue => 429)")
-		batch   = flag.Int("batch", 16, "max jobs one worker drains per wake-up (micro-batch)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline (exceeded => 504)")
-		quiet   = flag.Bool("quiet", false, "suppress request logging")
-	)
+	o := serveOptions{faults: os.Getenv("MFOD_FAULTS")}
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "scoring goroutines (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 256, "bounded scoring-queue capacity (full queue => 429)")
+	flag.IntVar(&o.batch, "batch", 16, "max jobs one worker drains per wake-up (micro-batch)")
+	flag.Int64Var(&o.maxBody, "max-body", 0, "request-body byte cap, exceeded => JSON 413 (0 = 32 MiB)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline (exceeded => 504)")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress request logging")
 	flag.Var(&models, "model", "name=path of a saved pipeline; repeatable")
 	flag.Parse()
-	if err := run(*addr, models, *workers, *queue, *batch, *timeout, *quiet, nil); err != nil {
+	o.models = models
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mfodserve:", err)
 		os.Exit(1)
 	}
 }
 
 // run wires the registry, pool and server, then blocks until a signal or
-// a listener error. The ready channel (tests only) receives the bound
-// address once the listener is up.
-func run(addr string, models []string, workers, queue, batch int, timeout time.Duration, quiet bool, ready chan<- string) error {
-	if len(models) == 0 {
+// a listener error.
+func run(o serveOptions) error {
+	if len(o.models) == 0 {
 		return errors.New("at least one -model name=path is required")
 	}
+	if o.faults != "" {
+		if err := faultinject.ArmFromEnv(o.faults); err != nil {
+			return err
+		}
+	}
 	registry := serve.NewRegistry()
-	for _, spec := range models {
+	for _, spec := range o.models {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("bad -model %q, want name=path", spec)
@@ -93,31 +119,35 @@ func run(addr string, models []string, workers, queue, batch int, timeout time.D
 	}
 
 	var logOut io.Writer = os.Stderr
-	if quiet {
+	if o.quiet {
 		logOut = io.Discard
 	}
 	logger := slog.New(slog.NewTextHandler(logOut, nil))
+	if armed := faultinject.Armed(); len(armed) > 0 {
+		logger.Warn("fault injection armed", "points", armed)
+	}
 	metrics := serve.NewMetrics()
 	pool := serve.NewPool(serve.PoolOptions{
-		Workers:  workers,
-		QueueCap: queue,
-		MaxBatch: batch,
+		Workers:  o.workers,
+		QueueCap: o.queue,
+		MaxBatch: o.batch,
 		Metrics:  metrics,
 	})
 	srv, err := serve.NewServer(serve.Config{
-		Registry: registry,
-		Pool:     pool,
-		Metrics:  metrics,
-		Timeout:  timeout,
-		Logger:   logger,
+		Registry:     registry,
+		Pool:         pool,
+		Metrics:      metrics,
+		Timeout:      o.timeout,
+		MaxBodyBytes: o.maxBody,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	ln, err := listen(addr)
+	ln, err := listen(o.addr)
 	if err != nil {
 		return err
 	}
@@ -125,8 +155,8 @@ func run(addr string, models []string, workers, queue, batch int, timeout time.D
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 	logger.Info("serving", "addr", ln.Addr().String(), "models", registry.Names())
-	if ready != nil {
-		ready <- ln.Addr().String()
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
 	}
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -140,7 +170,7 @@ func run(addr string, models []string, workers, queue, batch int, timeout time.D
 	// Graceful drain: stop advertising readiness, let in-flight requests
 	// finish (they wait on pool jobs), then stop the workers.
 	srv.Drain()
-	ctx, cancel := context.WithTimeout(context.Background(), timeout+5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)

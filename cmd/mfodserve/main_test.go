@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/fda"
 	"repro/internal/geometry"
 	"repro/internal/iforest"
@@ -51,14 +52,20 @@ func writeModel(t *testing.T) (string, fda.Dataset) {
 }
 
 func TestRunArgumentErrors(t *testing.T) {
-	if err := run(":0", nil, 0, 0, 0, time.Second, true, nil); err == nil {
+	t.Cleanup(faultinject.Reset)
+	if err := run(serveOptions{addr: ":0", timeout: time.Second, quiet: true}); err == nil {
 		t.Fatal("no models must fail")
 	}
-	if err := run(":0", []string{"noequals"}, 0, 0, 0, time.Second, true, nil); err == nil {
+	if err := run(serveOptions{addr: ":0", models: []string{"noequals"}, timeout: time.Second, quiet: true}); err == nil {
 		t.Fatal("malformed -model must fail")
 	}
-	if err := run(":0", []string{"m=/no/such/file.json"}, 0, 0, 0, time.Second, true, nil); err == nil {
+	if err := run(serveOptions{addr: ":0", models: []string{"m=/no/such/file.json"}, timeout: time.Second, quiet: true}); err == nil {
 		t.Fatal("missing model file must fail")
+	}
+	// A malformed MFOD_FAULTS spec is a startup error, not a silent no-op.
+	err := run(serveOptions{addr: ":0", models: []string{"m=x.json"}, timeout: time.Second, quiet: true, faults: "bogus spec"})
+	if err == nil || !strings.Contains(err.Error(), "faultinject") {
+		t.Fatalf("bad faults spec: err = %v", err)
 	}
 }
 
@@ -70,7 +77,16 @@ func TestServeEndToEnd(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", []string{"ecg=" + path}, 2, 16, 4, 5*time.Second, true, ready)
+		done <- run(serveOptions{
+			addr:    "127.0.0.1:0",
+			models:  []string{"ecg=" + path},
+			workers: 2,
+			queue:   16,
+			batch:   4,
+			timeout: 5 * time.Second,
+			quiet:   true,
+			ready:   ready,
+		})
 	}()
 	var base string
 	select {

@@ -12,12 +12,18 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/fda"
 	"repro/internal/geometry"
 )
 
 // ErrPipeline reports a mis-configured or unfitted pipeline.
 var ErrPipeline = errors.New("core: invalid pipeline state")
+
+// FaultScore is the fault-injection point hit at the top of Score and
+// ScoreOne. Chaos tests arm it (see internal/faultinject) to simulate a
+// detector that errors or panics mid-request.
+const FaultScore = "core.pipeline.score"
 
 // Detector is the contract a multivariate outlier-detection algorithm
 // must satisfy to terminate a pipeline: unsupervised fitting on feature
@@ -145,6 +151,9 @@ func (p *Pipeline) Score(test fda.Dataset) ([]float64, error) {
 	if !p.fitted {
 		return nil, fmt.Errorf("core: pipeline not fitted: %w", ErrPipeline)
 	}
+	if err := faultinject.Hit(FaultScore); err != nil {
+		return nil, err
+	}
 	if err := test.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,6 +179,9 @@ func (p *Pipeline) Score(test fda.Dataset) ([]float64, error) {
 func (p *Pipeline) ScoreOne(s fda.Sample) (float64, error) {
 	if !p.fitted {
 		return 0, fmt.Errorf("core: pipeline not fitted: %w", ErrPipeline)
+	}
+	if err := faultinject.Hit(FaultScore); err != nil {
+		return 0, err
 	}
 	if err := s.Validate(); err != nil {
 		return 0, err

@@ -1,0 +1,256 @@
+// Package faultinject is a deterministic fault-injection registry: the
+// chaos-testing harness of the serving stack. Production code declares
+// named fault points by calling Hit at the places where the system is
+// allowed to fail — the registry reload path, the worker pool, pipeline
+// scoring — and tests (or an operator, via MFOD_FAULTS) arm those points
+// with errors, panics or latency. The package is compiled in but inert:
+// with nothing armed, Hit is a single atomic load and no allocation, so
+// fault points may sit on hot paths.
+//
+// Triggers are deterministic by design. A fault fires on an exact hit
+// window (SkipFirst/Times) or on a fraction of hits drawn from a seeded
+// source (Probability/Seed), so a chaos test that arms a point sees the
+// same failure sequence on every run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so
+// callers (and tests) can tell a synthetic failure from a real one with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault describes what an armed point does when hit. The zero value
+// plus a Delay is a pure latency fault; setting Err or Panic makes the
+// point fail after the delay.
+type Fault struct {
+	// Err is returned from Hit once the fault fires. When nil and Panic
+	// is also nil, the fault only sleeps for Delay (latency injection).
+	// Use Injected(name) or any error; it is returned as-is.
+	Err error
+	// Panic, when non-nil, is passed to panic() once the fault fires.
+	// It takes precedence over Err.
+	Panic any
+	// Delay is slept on every firing hit before the fault resolves.
+	Delay time.Duration
+	// SkipFirst lets the first n hits pass through unharmed before the
+	// fault becomes eligible to fire.
+	SkipFirst int
+	// Times caps how many hits fire the fault; 0 means every eligible
+	// hit fires.
+	Times int
+	// Probability in (0, 1) fires the fault on roughly that fraction of
+	// eligible hits, drawn from a source seeded with Seed; 0 (or >= 1)
+	// means every eligible hit fires.
+	Probability float64
+	// Seed seeds the Probability source; 0 means 1, so runs are
+	// reproducible by default.
+	Seed int64
+}
+
+// Injected returns the canonical error an armed point injects:
+// "<name>: faultinject: injected fault".
+func Injected(name string) error {
+	return fmt.Errorf("%s: %w", name, ErrInjected)
+}
+
+// point is the armed state of one named fault point.
+type point struct {
+	mu    sync.Mutex
+	fault Fault
+	hits  int // total Hit calls observed while armed
+	fired int // hits that actually injected the fault
+	rng   *rand.Rand
+}
+
+var (
+	// anyArmed is the inert-path gate: false means no point is armed
+	// anywhere and Hit returns immediately.
+	anyArmed atomic.Bool
+
+	mu     sync.Mutex
+	points = make(map[string]*point)
+)
+
+// Arm installs (or replaces) the fault behind name. Hit counters reset.
+func Arm(name string, f Fault) {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &point{fault: f, rng: rand.New(rand.NewSource(seed))}
+	mu.Lock()
+	points[name] = p
+	anyArmed.Store(true)
+	mu.Unlock()
+}
+
+// Disarm removes the fault behind name; hitting the point becomes free
+// again once no points remain armed.
+func Disarm(name string) {
+	mu.Lock()
+	delete(points, name)
+	anyArmed.Store(len(points) > 0)
+	mu.Unlock()
+}
+
+// Reset disarms every point. Chaos tests call it in cleanup so global
+// state never leaks between tests.
+func Reset() {
+	mu.Lock()
+	points = make(map[string]*point)
+	anyArmed.Store(false)
+	mu.Unlock()
+}
+
+// Armed lists the currently armed point names, sorted.
+func Armed() []string {
+	mu.Lock()
+	out := make([]string, 0, len(points))
+	for n := range points {
+		out = append(out, n)
+	}
+	mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Hits reports how many times the named armed point has been hit and how
+// many of those hits fired the fault. Both are 0 for unarmed points.
+func Hits(name string) (hits, fired int) {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.fired
+}
+
+// Hit declares a fault point. Production code calls it where a failure
+// may be injected and propagates a non-nil error as if the real
+// operation had failed. When the armed fault is a panic, Hit panics —
+// the caller's recover path is exactly what is under test. Unarmed
+// points cost one atomic load.
+func Hit(name string) error {
+	if !anyArmed.Load() {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.hit(name)
+}
+
+func (p *point) hit(name string) error {
+	p.mu.Lock()
+	p.hits++
+	f := p.fault
+	fire := p.hits > f.SkipFirst &&
+		(f.Times == 0 || p.fired < f.Times) &&
+		(f.Probability <= 0 || f.Probability >= 1 || p.rng.Float64() < f.Probability)
+	if fire {
+		p.fired++
+	}
+	p.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Delay > 0 {
+		return nil // latency-only fault
+	}
+	return Injected(name)
+}
+
+// ArmFromEnv arms points from a spec string, typically the MFOD_FAULTS
+// environment variable, so a running binary can be chaos-tested without
+// recompiling. The spec is semicolon-separated clauses of the form
+//
+//	name=kind[,opt...]
+//
+// where kind is one of "error", "panic" or "delay:<duration>", and opts
+// are "times:<n>", "skip:<n>", "p:<float>" and "seed:<n>". Example:
+//
+//	MFOD_FAULTS="serve.registry.reload=error;core.pipeline.score=panic,times:1"
+func ArmFromEnv(spec string) error {
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		if !ok || name == "" || rest == "" {
+			return fmt.Errorf("faultinject: bad clause %q, want name=kind[,opt...]", clause)
+		}
+		var f Fault
+		for i, part := range strings.Split(rest, ",") {
+			key, val, _ := strings.Cut(part, ":")
+			switch {
+			case i == 0 && key == "error":
+				f.Err = Injected(name)
+			case i == 0 && key == "panic":
+				f.Panic = Injected(name)
+			case i == 0 && key == "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad delay %q: %v", name, val, err)
+				}
+				f.Delay = d
+			case i == 0:
+				return fmt.Errorf("faultinject: %s: unknown kind %q", name, key)
+			case key == "times":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad times %q", name, val)
+				}
+				f.Times = n
+			case key == "skip":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad skip %q", name, val)
+				}
+				f.SkipFirst = n
+			case key == "p":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad probability %q", name, val)
+				}
+				f.Probability = p
+			case key == "seed":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return fmt.Errorf("faultinject: %s: bad seed %q", name, val)
+				}
+				f.Seed = n
+			default:
+				return fmt.Errorf("faultinject: %s: unknown option %q", name, part)
+			}
+		}
+		Arm(name, f)
+	}
+	return nil
+}

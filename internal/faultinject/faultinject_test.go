@@ -1,0 +1,193 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedHitIsFree(t *testing.T) {
+	Reset()
+	if err := Hit("nobody.armed.this"); err != nil {
+		t.Fatalf("unarmed hit = %v, want nil", err)
+	}
+	if hits, fired := Hits("nobody.armed.this"); hits != 0 || fired != 0 {
+		t.Fatalf("unarmed counters = %d/%d", hits, fired)
+	}
+}
+
+func TestArmDefaultErrorAndDisarm(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{})
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := Armed(); len(got) != 1 || got[0] != "p" {
+		t.Fatalf("Armed() = %v", got)
+	}
+	Disarm("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("disarmed hit = %v", err)
+	}
+	if got := Armed(); len(got) != 0 {
+		t.Fatalf("Armed() after disarm = %v", got)
+	}
+}
+
+func TestCustomErrorPassedThrough(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	sentinel := errors.New("boom")
+	Arm("p", Fault{Err: sentinel})
+	if err := Hit("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestSkipFirstAndTimes(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{SkipFirst: 2, Times: 3})
+	var fails int
+	for i := 0; i < 10; i++ {
+		if Hit("p") != nil {
+			fails++
+			if i < 2 {
+				t.Fatalf("hit %d fired inside the skip window", i)
+			}
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("fired %d times, want 3", fails)
+	}
+	if hits, fired := Hits("p"); hits != 10 || fired != 3 {
+		t.Fatalf("counters = %d/%d, want 10/3", hits, fired)
+	}
+}
+
+func TestProbabilityIsDeterministic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	run := func() []bool {
+		Arm("p", Fault{Probability: 0.5, Seed: 7})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = Hit("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at hit %d: same seed must give same sequence", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{Panic: "chaos"})
+	defer func() {
+		if r := recover(); r != "chaos" {
+			t.Fatalf("recovered %v, want \"chaos\"", r)
+		}
+	}()
+	Hit("p")
+	t.Fatal("Hit must panic")
+}
+
+func TestDelayOnlyFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("latency fault must not error, got %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("hit returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{Times: 50})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				Hit("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if hits, fired := Hits("p"); hits != 800 || fired != 50 {
+		t.Fatalf("counters = %d/%d, want 800/50", hits, fired)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	spec := "a=error;b=delay:20ms,times:1; c=panic,skip:1,seed:3 ;d=error,p:0.5"
+	if err := ArmFromEnv(spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := Armed(); len(got) != 4 {
+		t.Fatalf("Armed() = %v, want 4 points", got)
+	}
+	if err := Hit("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a: err = %v", err)
+	}
+	start := time.Now()
+	if err := Hit("b"); err != nil || time.Since(start) < 20*time.Millisecond {
+		t.Fatalf("b: err=%v after %v", err, time.Since(start))
+	}
+	if err := Hit("b"); err != nil {
+		t.Fatalf("b second hit (times:1 spent) = %v", err)
+	}
+	if err := Hit("c"); err != nil {
+		t.Fatalf("c first hit inside skip window = %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("c second hit must panic")
+			}
+		}()
+		Hit("c")
+	}()
+}
+
+func TestArmFromEnvErrors(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"noequals",
+		"a=",
+		"a=frobnicate",
+		"a=delay:banana",
+		"a=error,times:x",
+		"a=error,skip:x",
+		"a=error,p:x",
+		"a=error,seed:x",
+		"a=error,wat:1",
+	} {
+		if err := ArmFromEnv(spec); err == nil {
+			t.Fatalf("spec %q must fail", spec)
+		}
+	}
+}

@@ -47,6 +47,11 @@ func (s Sample) Validate() error {
 	if len(s.Values) == 0 {
 		return fmt.Errorf("fda: sample has no parameters: %w", ErrData)
 	}
+	for j, tv := range s.Times {
+		if math.IsNaN(tv) || math.IsInf(tv, 0) {
+			return fmt.Errorf("fda: measurement point %d is not finite: %w", j, ErrData)
+		}
+	}
 	for j := 1; j < len(s.Times); j++ {
 		if !(s.Times[j] > s.Times[j-1]) {
 			return fmt.Errorf("fda: measurement points not strictly increasing at %d: %w", j, ErrData)

@@ -32,6 +32,9 @@ func TestSampleValidateErrors(t *testing.T) {
 		"length mismatch": {Times: []float64{0, 1}, Values: [][]float64{{1}}},
 		"NaN value":       {Times: []float64{0, 1}, Values: [][]float64{{1, math.NaN()}}},
 		"infinite value":  {Times: []float64{0, 1}, Values: [][]float64{{1, math.Inf(1)}}},
+		"NaN time":        {Times: []float64{math.NaN()}, Values: [][]float64{{1}}},
+		"-Inf time":       {Times: []float64{math.Inf(-1), 0, 1}, Values: [][]float64{{1, 2, 3}}},
+		"+Inf time":       {Times: []float64{0, 1, math.Inf(1)}, Values: [][]float64{{1, 2, 3}}},
 	}
 	for name, s := range cases {
 		if err := s.Validate(); !errors.Is(err, ErrData) {

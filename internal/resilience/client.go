@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client wraps an http.Client with retry, backoff, a retry budget and a
+// circuit breaker for JSON POSTs against mfodserve. Scoring is
+// idempotent, so transient failures (connection errors, 429, 5xx) are
+// safe to retry; definitive answers — including 4xx — are returned to
+// the caller untouched.
+type Client struct {
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// MaxAttempts is the total number of tries including the first;
+	// 0 means 4.
+	MaxAttempts int
+	// Backoff shapes the delay between attempts; nil means defaults
+	// (100ms base, ×2, 5s cap, 20% jitter).
+	Backoff *Backoff
+	// Budget, when non-nil, bounds the global retry rate.
+	Budget *Budget
+	// Breaker, when non-nil, fast-fails while the upstream is down.
+	Breaker *Breaker
+}
+
+// retryable reports whether a status code indicates a transient
+// condition worth retrying.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryAfter parses a Retry-After header given in seconds; 0 when
+// absent or unparseable (the HTTP-date form is not worth supporting for
+// a CLI client).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	s, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || s < 0 {
+		return 0
+	}
+	return time.Duration(s) * time.Second
+}
+
+// PostJSON sends body to url, retrying transient failures with backoff
+// until an attempt gets a definitive answer, the attempt budget or retry
+// budget runs out, the breaker opens, or ctx expires. On success the
+// caller owns resp.Body.
+func (c *Client) PostJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	backoff := c.Backoff
+	if backoff == nil {
+		backoff = &Backoff{}
+	}
+	if c.Budget != nil {
+		c.Budget.Deposit()
+	}
+	var lastErr error
+	var hint time.Duration // server-provided Retry-After from the last attempt
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if c.Budget != nil && !c.Budget.Withdraw() {
+				return nil, fmt.Errorf("resilience: retry budget exhausted after: %w", lastErr)
+			}
+			delay := backoff.Delay(attempt - 1)
+			if hint > delay {
+				delay = hint
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		if c.Breaker != nil {
+			if err := c.Breaker.Allow(); err != nil {
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last failure: %v)", err, lastErr)
+				}
+				return nil, err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(req)
+		if err != nil {
+			if c.Breaker != nil {
+				c.Breaker.Failure()
+			}
+			lastErr, hint = err, 0
+			continue
+		}
+		if retryable(resp.StatusCode) {
+			if c.Breaker != nil {
+				c.Breaker.Failure()
+			}
+			lastErr = fmt.Errorf("resilience: server returned %s", resp.Status)
+			hint = retryAfter(resp)
+			// Drain so the connection can be reused for the retry.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			continue
+		}
+		// Definitive answer (2xx–4xx): the upstream is alive.
+		if c.Breaker != nil {
+			c.Breaker.Success()
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("resilience: %d attempts failed, last: %w", attempts, lastErr)
+}

@@ -1,0 +1,131 @@
+// Package resilience implements client-side failure handling for
+// scoring against a flaky mfodserve instance: exponential backoff with
+// deterministic jitter, a token-bucket retry budget that prevents retry
+// storms, a consecutive-failure circuit breaker, and a small HTTP client
+// wrapper composing the three. cmd/mfoddetect's -remote mode is the
+// first consumer; the package depends only on the standard library.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes the delay before each retry: exponential growth from
+// Base by Factor, capped at Max, with a jitter fraction drawn from a
+// seeded source so two clients that fail together do not retry in
+// lockstep — yet a given seed replays the same delays every run.
+type Backoff struct {
+	// Base is the delay before the first retry; 0 means 100ms.
+	Base time.Duration
+	// Max caps the grown delay; 0 means 5s.
+	Max time.Duration
+	// Factor is the per-retry growth; 0 means 2.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized: the delay
+	// is drawn uniformly from [d·(1−Jitter), d]. 0 means 0.2; negative
+	// disables jitter.
+	Jitter float64
+	// Seed seeds the jitter source; 0 means 1.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// Delay returns the backoff before retry number attempt (0-based: the
+// delay between the first failure and the second attempt is Delay(0)).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	base, max, factor, jitter := b.Base, b.Max, b.Factor, b.Jitter
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if factor <= 0 {
+		factor = 2
+	}
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	d := float64(base)
+	for i := 0; i < attempt && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		b.once.Do(func() {
+			seed := b.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			b.rng = rand.New(rand.NewSource(seed))
+		})
+		b.mu.Lock()
+		u := b.rng.Float64()
+		b.mu.Unlock()
+		d *= 1 - jitter*u
+	}
+	return time.Duration(d)
+}
+
+// Budget is a token-bucket retry budget shared by every request of one
+// client. Each first attempt deposits Ratio tokens (the bucket holds at
+// most Burst); each retry withdraws one whole token. Under a total
+// outage the retry rate therefore decays to Ratio retries per request
+// instead of multiplying traffic by the attempt count.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	ratio  float64
+}
+
+// NewBudget returns a full budget. burst <= 0 means 10 tokens; ratio <=
+// 0 means 0.1 tokens deposited per first attempt.
+func NewBudget(burst, ratio float64) *Budget {
+	if burst <= 0 {
+		burst = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return &Budget{tokens: burst, burst: burst, ratio: ratio}
+}
+
+// Deposit credits the budget for one first attempt.
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw takes one retry token, reporting whether the retry is
+// allowed.
+func (b *Budget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current balance (tests and debugging).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

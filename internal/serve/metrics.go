@@ -34,6 +34,7 @@ type reqKey struct {
 // so scrapes are deterministic.
 type Metrics struct {
 	inflight   atomic.Int64
+	panics     atomic.Uint64
 	queueDepth func() int // registered gauge; nil until a pool attaches
 
 	mu       sync.Mutex
@@ -114,6 +115,13 @@ func (m *Metrics) DecInflight() {
 	}
 }
 
+// IncPanics counts one scoring panic recovered by the worker pool.
+func (m *Metrics) IncPanics() {
+	if m != nil {
+		m.panics.Add(1)
+	}
+}
+
 // RegisterQueueDepth installs the gauge read at scrape time — the pool's
 // current queue length. Call once during wiring, before serving.
 func (m *Metrics) RegisterQueueDepth(fn func() int) {
@@ -173,6 +181,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "mfod_model_reloads_total{model=%q} %d\n", n, m.reloads[n])
 		}
 	}
+
+	fmt.Fprintln(w, "# HELP mfod_panics_total Scoring panics recovered by the worker pool.")
+	fmt.Fprintln(w, "# TYPE mfod_panics_total counter")
+	fmt.Fprintf(w, "mfod_panics_total %d\n", m.panics.Load())
 
 	fmt.Fprintln(w, "# HELP mfod_inflight_requests Requests currently being handled.")
 	fmt.Fprintln(w, "# TYPE mfod_inflight_requests gauge")

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/fda"
 )
 
@@ -17,6 +19,25 @@ var ErrQueueFull = errors.New("serve: scoring queue full")
 
 // ErrPoolClosed is returned by Enqueue after Close has begun.
 var ErrPoolClosed = errors.New("serve: pool closed")
+
+// FaultBatch is the fault-injection point hit at the start of every
+// drained batch. Arming it with a delay holds a worker past request
+// deadlines (504s); arming it with an error fails the whole batch.
+const FaultBatch = "serve.pool.batch"
+
+// PanicError reports a panic recovered inside a worker while scoring or
+// explaining one job. The panic is contained: only the affected job
+// fails (the HTTP layer maps it to 500) and the worker keeps serving.
+type PanicError struct {
+	// Value is the value the scoring code panicked with.
+	Value any
+	// Stack is the goroutine stack captured at recovery, for logs.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: panic during scoring: %v", e.Value)
+}
 
 // Job is one scoring request travelling through the pool: the resolved
 // model, the curves to score and an optional per-sample explanation
@@ -182,6 +203,12 @@ func (p *Pool) runBatch(batch []*Job) {
 		p.testHook(batch)
 	}
 	p.metrics.ObserveBatch(len(batch))
+	if err := faultinject.Hit(FaultBatch); err != nil {
+		for _, j := range batch {
+			j.done <- JobResult{Err: err}
+		}
+		return
+	}
 	// Group by model preserving arrival order within each group.
 	order := make([]*Model, 0, len(batch))
 	groups := make(map[*Model][]*Job, len(batch))
@@ -202,14 +229,31 @@ func (p *Pool) runBatch(batch []*Job) {
 	}
 }
 
-// runGroup scores all jobs of one model together. On a batched failure
-// (e.g. one request's curves have the wrong dimension) it falls back to
-// per-job scoring so a malformed request cannot fail its batch
-// neighbours.
+// call runs fn, converting a panic into a *PanicError so one poisoned
+// job cannot unwind the worker goroutine. Every recovered panic counts
+// toward mfod_panics_total.
+func (p *Pool) call(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.metrics.IncPanics()
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// runGroup scores all jobs of one model together. On a batched failure —
+// a malformed request, or a panic recovered from the scoring call — it
+// quarantines the batch and falls back to per-job scoring so one
+// poisoned curve cannot take down its batch neighbours.
 func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
 	if len(jobs) == 1 && jobs[0].ds.Len() == 1 && jobs[0].explain == 0 {
 		// Single curve, no explanations: the allocation-light fast path.
-		s, err := pipe.ScoreOne(jobs[0].ds.Samples[0])
+		var s float64
+		err := p.call(func() (e error) {
+			s, e = pipe.ScoreOne(jobs[0].ds.Samples[0])
+			return
+		})
 		if err != nil {
 			jobs[0].done <- JobResult{Err: err}
 			return
@@ -221,7 +265,11 @@ func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
 	for _, j := range jobs {
 		merged.Samples = append(merged.Samples, j.ds.Samples...)
 	}
-	scores, err := pipe.Score(merged)
+	var scores []float64
+	err := p.call(func() (e error) {
+		scores, e = pipe.Score(merged)
+		return
+	})
 	if err != nil {
 		if len(jobs) == 1 {
 			jobs[0].done <- JobResult{Err: err}
@@ -239,13 +287,18 @@ func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
 		off += n
 		if j.explain > 0 {
 			res.Explanations = make([][]core.Explanation, n)
-			for i := 0; i < n; i++ {
-				exp, err := pipe.Explain(j.ds, i, j.explain)
-				if err != nil {
-					res = JobResult{Err: fmt.Errorf("serve: explain sample %d: %w", i, err)}
-					break
+			expErr := p.call(func() error {
+				for i := 0; i < n; i++ {
+					exp, err := pipe.Explain(j.ds, i, j.explain)
+					if err != nil {
+						return fmt.Errorf("serve: explain sample %d: %w", i, err)
+					}
+					res.Explanations[i] = exp
 				}
-				res.Explanations[i] = exp
+				return nil
+			})
+			if expErr != nil {
+				res = JobResult{Err: expErr}
 			}
 		}
 		j.done <- res

@@ -10,11 +10,17 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // ErrUnknownModel is returned when a request names a model the registry
 // does not hold.
 var ErrUnknownModel = errors.New("serve: unknown model")
+
+// FaultReload is the fault-injection point hit on every model (re)load,
+// before the file is opened. Chaos tests arm it to prove that a failed
+// reload leaves the previous snapshot serving.
+const FaultReload = "serve.registry.reload"
 
 // Model is one named entry of the registry: a fitted pipeline loaded from
 // a persisted-pipeline JSON file. The pipeline pointer is swapped
@@ -48,6 +54,9 @@ func (m *Model) LoadedAt() time.Time { return time.Unix(0, m.loadedAt.Load()) }
 func (m *Model) reload() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := faultinject.Hit(FaultReload); err != nil {
+		return fmt.Errorf("serve: reload %s: %w", m.name, err)
+	}
 	f, err := os.Open(m.path)
 	if err != nil {
 		return fmt.Errorf("serve: reload %s: %w", m.name, err)

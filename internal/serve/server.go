@@ -27,9 +27,16 @@ type Config struct {
 	// 0 means 30s. Requests may shorten it per call with ?timeout=500ms
 	// but never exceed it.
 	Timeout time.Duration
-	// MaxBodyBytes caps the request body; 0 means 32 MiB.
+	// MaxBodyBytes caps the request body; 0 means 32 MiB. Oversized
+	// bodies are rejected with a JSON 413, not a connection reset.
 	MaxBodyBytes int64
-	Logger       *slog.Logger
+	// MaxSamples caps curves per :score request; 0 means
+	// DefaultMaxSamples. Exceeding it is a 400.
+	MaxSamples int
+	// MaxPoints caps measurement points per curve; 0 means
+	// DefaultMaxPoints. Exceeding it is a 400.
+	MaxPoints int
+	Logger    *slog.Logger
 }
 
 // Server exposes fitted pipelines over HTTP:
@@ -56,6 +63,12 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = DefaultMaxSamples
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = DefaultMaxPoints
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -235,19 +248,26 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 	var req scoreRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// MaxBytesReader has already stopped reading; answering with
+			// a JSON 413 instead of letting the decode error surface as a
+			// 400 (or the connection reset a bare MaxBytesHandler gives).
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return http.StatusRequestEntityTooLarge, 0
+		}
 		jsonError(w, http.StatusBadRequest, "decode body: %v", err)
-		return http.StatusBadRequest, 0
-	}
-	if len(req.Samples) == 0 {
-		jsonError(w, http.StatusBadRequest, "body has no samples")
 		return http.StatusBadRequest, 0
 	}
 	ds := fda.Dataset{Samples: make([]fda.Sample, len(req.Samples))}
 	for i, sm := range req.Samples {
 		ds.Samples[i] = fda.Sample{Times: sm.Times, Values: sm.Values}
 	}
-	if err := ds.Validate(); err != nil {
-		jsonError(w, http.StatusBadRequest, "invalid curves: %v", err)
+	// Sanitize before any numeric work: NaN/Inf samples, ragged or empty
+	// grids and oversized requests never reach the smoothing layer.
+	if verr := sanitizeDataset(ds, s.cfg.MaxSamples, s.cfg.MaxPoints); verr != nil {
+		jsonError(w, http.StatusBadRequest, "%v", verr)
 		return http.StatusBadRequest, len(req.Samples)
 	}
 	timeout := s.cfg.Timeout

@@ -139,6 +139,10 @@ func TestServerClientErrors(t *testing.T) {
 		{"bad json", ts.URL + "/v1/models/ecg:score", []byte("{"), http.StatusBadRequest},
 		{"no samples", ts.URL + "/v1/models/ecg:score", []byte(`{"samples":[]}`), http.StatusBadRequest},
 		{"invalid curve", ts.URL + "/v1/models/ecg:score", []byte(`{"samples":[{"times":[1,0],"values":[[1,2],[3,4]]}]}`), http.StatusBadRequest},
+		{"NaN sample", ts.URL + "/v1/models/ecg:score", []byte(`{"samples":[{"times":[0,1],"values":[[1,NaN],[3,4]]}]}`), http.StatusBadRequest},
+		{"Inf time", ts.URL + "/v1/models/ecg:score", []byte(`{"samples":[{"times":[0,1e999],"values":[[1,2],[3,4]]}]}`), http.StatusBadRequest},
+		{"ragged grid", ts.URL + "/v1/models/ecg:score", []byte(`{"samples":[{"times":[0,0.5,1],"values":[[1,2],[3,4,5]]}]}`), http.StatusBadRequest},
+		{"empty grid", ts.URL + "/v1/models/ecg:score", []byte(`{"samples":[{"times":[],"values":[[],[]]}]}`), http.StatusBadRequest},
 		{"bad timeout", ts.URL + "/v1/models/ecg:score?timeout=banana", scoreBody(t, ds, []int{0}, 0), http.StatusBadRequest},
 		{"unknown action", ts.URL + "/v1/models/ecg:frobnicate", scoreBody(t, ds, []int{0}, 0), http.StatusNotFound},
 	}
@@ -399,6 +403,7 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		`mfod_requests_total{model="nope",code="404"} 1`,
 		`mfod_request_duration_seconds_bucket{le="+Inf"} 4`,
 		"mfod_request_duration_seconds_count 4",
+		"mfod_panics_total 0",
 		"mfod_inflight_requests 0",
 		"mfod_queue_depth 0",
 		"mfod_batch_jobs_count",
