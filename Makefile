@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos bench check
+.PHONY: build vet test test-race test-chaos bench bench-hotpath fuzz check
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,11 @@ test:
 	$(GO) test ./...
 
 # The race suite focuses on the concurrent paths: the serving subsystem,
-# the shared-pipeline scoring guarantee and the server binary.
+# the shared-pipeline scoring guarantee, the server binary, and the
+# smoothing/mapping hot path (worker pool + shared basis cache).
 test-race:
-	$(GO) test -race ./internal/serve ./internal/core ./cmd/mfodserve
+	$(GO) test -race ./internal/serve ./internal/core ./cmd/mfodserve \
+		./internal/fda ./internal/geometry ./internal/parallel
 
 # Chaos gate: the fault-injection and resilience packages plus the serve
 # chaos suite (Chaos* tests arm faultinject points), under the race
@@ -29,5 +31,15 @@ test-chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable hot-path benchmark (sequential seed path vs worker
+# pool + basis cache); fails below a 2x speedup. CI archives the report.
+bench-hotpath:
+	$(GO) run ./cmd/mfodbench -bench -bench-out BENCH_hotpath.json -bench-min-speedup 2
+
+# 30-second fuzz smoke on the B-spline evaluator (knot-boundary and
+# derivative edge cases); the corpus lives in internal/bspline/testdata.
+fuzz:
+	$(GO) test -fuzz=FuzzBSplineEval -fuzztime=30s -run=^$$ ./internal/bspline
 
 check: build vet test test-race test-chaos

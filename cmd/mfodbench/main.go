@@ -5,6 +5,11 @@
 //
 //	mfodbench -exp fig3 [-reps 50] [-seed 1] [-n 200]
 //	mfodbench -exp fig1|fig2|fig3|ablation-map|ablation-basis|ablation-detector|depth-issues|ensemble|all
+//	mfodbench -bench [-bench-out BENCH_hotpath.json] [-bench-min-speedup 2]
+//
+// -bench benchmarks the smoothing/scoring hot path (sequential seed path
+// vs worker pool + basis cache) and writes a machine-readable report; see
+// README.md §Performance for how to read it.
 //
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded paper-vs-measured outcomes.
@@ -12,6 +17,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,12 +39,50 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		methods  = flag.String("methods", "", "comma-separated method subset for fig3 (default all four)")
 		csvOut   = flag.String("csv", "", "also write fig3 summaries to this CSV file")
+
+		bench      = flag.Bool("bench", false, "benchmark the smoothing/scoring hot path instead of running an experiment")
+		benchOut   = flag.String("bench-out", "BENCH_hotpath.json", "file the -bench report is written to")
+		benchFloor = flag.Float64("bench-min-speedup", 0, "fail unless fit and score speedups reach this factor (0 = report only)")
 	)
 	flag.Parse()
+	if *bench {
+		if err := runBench(*n, *seed, *parallel, *benchOut, *benchFloor); err != nil {
+			fmt.Fprintln(os.Stderr, "mfodbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *reps, *seed, *n, *parallel, *methods, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mfodbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench executes the hot-path benchmark and writes the JSON report.
+// The report is written even when the speedup floor fails, so CI archives
+// the numbers that caused the failure.
+func runBench(n int, seed int64, parallel int, out string, minSpeedup float64) error {
+	rep, err := experiments.RunHotpath(experiments.HotpathOptions{
+		N: n, Seed: seed, Parallel: parallel, MinSpeedup: minSpeedup,
+	})
+	if rep != nil {
+		blob, merr := json.MarshalIndent(rep, "", "  ")
+		if merr != nil {
+			return merr
+		}
+		blob = append(blob, '\n')
+		if werr := os.WriteFile(out, blob, 0o644); werr != nil {
+			return werr
+		}
+		fmt.Printf("hot path (%s, n=%d, m=%d, %d workers / %d cpus):\n", rep.Workload, rep.N, rep.M, rep.Workers, rep.CPUs)
+		fmt.Printf("  FitDataset      %12d ns/op seq  %12d ns/op opt  %.2fx\n",
+			rep.FitSequential.NsPerOp, rep.FitOptimized.NsPerOp, rep.FitSpeedup)
+		fmt.Printf("  Pipeline.Score  %12d ns/op seq  %12d ns/op opt  %.2fx\n",
+			rep.ScoreSequential.NsPerOp, rep.ScoreOptimized.NsPerOp, rep.ScoreSpeedup)
+		fmt.Printf("  cache hits/misses %d/%d, max |Δscore| = %g\n", rep.CacheHits, rep.CacheMisses, rep.MaxAbsScoreDiff)
+		fmt.Printf("(report written to %s)\n", out)
+	}
+	return err
 }
 
 func run(exp string, reps int, seed int64, n, parallel int, methods, csvOut string) error {

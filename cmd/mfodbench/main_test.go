@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/eval"
+	"repro/internal/experiments"
 )
 
 func TestRunOneFigures(t *testing.T) {
@@ -72,5 +74,39 @@ func TestWriteSummariesCSV(t *testing.T) {
 func TestRunUnknownMethodFilter(t *testing.T) {
 	if err := runOne("fig3", 1, 1, 80, 0, "NotAMethod", ""); err == nil {
 		t.Fatal("unknown method filter must fail")
+	}
+}
+
+func TestRunBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := runBench(16, 1, 0, path, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.HotpathReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Workload != "fig3" || rep.FitSequential.NsPerOp <= 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+}
+
+func TestRunBenchFloorFailureStillWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := runBench(12, 1, 0, path, 1e9); err == nil {
+		t.Fatal("unattainable floor must fail")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("report missing after floor failure: %v", err)
 	}
 }

@@ -46,12 +46,14 @@ type Detector interface {
 //
 // Concurrency: Fit must complete before any scoring and must not run
 // concurrently with it. After Fit returns, Score, ScoreOne, Explain and
-// Grid only read pipeline state, so a single fitted Pipeline is safe for
-// concurrent use by multiple goroutines — provided the configured
-// Detector's ScoreBatch and the Mapping's Map are themselves read-only,
-// which holds for every implementation in this repository (iforest,
-// ocsvm, lof, and all geometry mappings). internal/serve relies on this
-// guarantee to score HTTP requests from a shared model registry.
+// Grid only read pipeline state — the one exception being the internal
+// basis cache, which is mutex-protected and memoizes pure functions of
+// its keys — so a single fitted Pipeline is safe for concurrent use by
+// multiple goroutines, provided the configured Detector's ScoreBatch
+// and the Mapping's Map are themselves read-only, which holds for every
+// implementation in this repository (iforest, ocsvm, lof, and all
+// geometry mappings). internal/serve relies on this guarantee to score
+// HTTP requests from a shared model registry.
 type Pipeline struct {
 	// Smooth configures the functional approximation of Sec. 2. The zero
 	// value selects the paper's defaults (cubic B-splines, LOOCV).
@@ -68,6 +70,12 @@ type Pipeline struct {
 	// Standardize z-scores every mapped feature using training statistics
 	// before the detector sees them; recommended for OCSVM.
 	Standardize bool
+	// Parallel bounds the worker pool smoothing and mapping fan out
+	// over: 0 means GOMAXPROCS, 1 runs sequentially. Results are
+	// written back by sample index, so scores are bitwise identical for
+	// every setting; internal/serve pins it to 1 because request
+	// concurrency already comes from the serving pool.
+	Parallel int
 
 	fitted    bool
 	gridLo    float64
@@ -75,6 +83,10 @@ type Pipeline struct {
 	grid      []float64
 	featMean  []float64
 	featScale []float64
+	// cache memoizes the smoother's design/penalty/factorization linear
+	// algebra across samples and across Score calls; created at Fit (or
+	// load) time and internally synchronized.
+	cache *fda.BasisCache
 }
 
 // Validate checks the configuration without fitting.
@@ -111,6 +123,9 @@ func (p *Pipeline) Fit(train fda.Dataset) error {
 		}
 	}
 	p.grid = fda.UniformGrid(p.gridLo, p.gridHi, gridSize)
+	if p.cache == nil && !p.Smooth.NoCache {
+		p.cache = fda.NewBasisCache()
+	}
 	feats, err := p.features(train)
 	if err != nil {
 		return err
@@ -128,21 +143,34 @@ func (p *Pipeline) Fit(train fda.Dataset) error {
 	return nil
 }
 
-// features smooths and maps every sample of d on the pipeline grid.
+// features smooths and maps every sample of d on the pipeline grid,
+// fanning both stages out over the pipeline's worker pool and sharing
+// the pipeline's basis cache across samples and calls.
 func (p *Pipeline) features(d fda.Dataset) ([][]float64, error) {
-	opt := p.Smooth
-	if opt.Lo == opt.Hi {
-		opt.Lo, opt.Hi = p.gridLo, p.gridHi
-	}
+	opt := p.smoothOptions()
 	fits, err := fda.FitDataset(d, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: smoothing: %w", err)
 	}
-	feats, err := geometry.MapDataset(fits, p.Mapping, p.grid)
+	feats, err := geometry.MapDatasetParallel(fits, p.Mapping, p.grid, p.Parallel)
 	if err != nil {
 		return nil, fmt.Errorf("core: mapping: %w", err)
 	}
 	return feats, nil
+}
+
+// smoothOptions resolves the effective smoothing options for scoring:
+// the fitted grid domain, the pipeline worker pool and the shared cache.
+func (p *Pipeline) smoothOptions() fda.Options {
+	opt := p.Smooth
+	if opt.Lo == opt.Hi {
+		opt.Lo, opt.Hi = p.gridLo, p.gridHi
+	}
+	opt.Parallel = p.Parallel
+	if opt.Cache == nil {
+		opt.Cache = p.cache
+	}
+	return opt
 }
 
 // Score smooths, maps and scores held-out samples with the fitted
@@ -186,11 +214,7 @@ func (p *Pipeline) ScoreOne(s fda.Sample) (float64, error) {
 	if err := s.Validate(); err != nil {
 		return 0, err
 	}
-	opt := p.Smooth
-	if opt.Lo == opt.Hi {
-		opt.Lo, opt.Hi = p.gridLo, p.gridHi
-	}
-	fit, err := fda.FitSample(s, opt)
+	fit, err := fda.FitSample(s, p.smoothOptions())
 	if err != nil {
 		return 0, fmt.Errorf("core: smoothing: %w", err)
 	}

@@ -272,6 +272,10 @@ func LoadPipelineJSON(r io.Reader) (*Pipeline, error) {
 		grid:        in.Grid,
 		featMean:    in.FeatMean,
 		featScale:   in.FeatScale,
+		// A loaded pipeline scores without refitting, so give it a fresh
+		// basis cache: repeat requests on the same measurement grid then
+		// skip straight to the memoized factorizations.
+		cache: fda.NewBasisCache(),
 	}
 	return p, nil
 }

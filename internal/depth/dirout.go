@@ -3,6 +3,8 @@ package depth
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // DirOut is the directional outlyingness method of Dai & Genton (2019),
@@ -125,15 +127,23 @@ func (d *DirOut) Score(sample [][]float64) (float64, error) {
 	return mo2 + vo, nil
 }
 
-// ScoreBatch scores every sample.
+// ScoreBatch scores every sample. Samples fan out over the shared
+// bounded pool: Score only reads the fitted pointwise references and
+// each result is written to its own slot, so the output is identical to
+// the sequential loop.
 func (d *DirOut) ScoreBatch(samples [][][]float64) ([]float64, error) {
 	out := make([]float64, len(samples))
-	for i, s := range samples {
-		v, err := d.Score(s)
+	errs := make([]error, len(samples))
+	parallel.For(len(samples), 0, func(_, i int) {
+		v, err := d.Score(samples[i])
 		if err != nil {
-			return nil, fmt.Errorf("depth: dirout sample %d: %w", i, err)
+			errs[i] = fmt.Errorf("depth: dirout sample %d: %w", i, err)
+			return
 		}
 		out[i] = v
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

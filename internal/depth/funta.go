@@ -3,6 +3,8 @@ package depth
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // FUNTA is the functional tangential angle pseudo-depth of Kuhnt & Rehage
@@ -128,15 +130,23 @@ func (f *FUNTA) Score(sample [][]float64) (float64, error) {
 	return total / float64(params), nil
 }
 
-// ScoreBatch scores every sample.
+// ScoreBatch scores every sample. Samples fan out over the shared
+// bounded pool: Score only reads the memorised training curves and each
+// result is written to its own slot, so the output is identical to the
+// sequential loop.
 func (f *FUNTA) ScoreBatch(samples [][][]float64) ([]float64, error) {
 	out := make([]float64, len(samples))
-	for i, s := range samples {
-		v, err := f.Score(s)
+	errs := make([]error, len(samples))
+	parallel.For(len(samples), 0, func(_, i int) {
+		v, err := f.Score(samples[i])
 		if err != nil {
-			return nil, fmt.Errorf("depth: funta sample %d: %w", i, err)
+			errs[i] = fmt.Errorf("depth: funta sample %d: %w", i, err)
+			return
 		}
 		out[i] = v
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fda"
+	"repro/internal/iforest"
+	"repro/internal/parallel"
+)
+
+// Hotpath benchmarks the smoothing/scoring hot path — the inner loop every
+// experiment, the CLI and the serving subsystem pay for — in two
+// configurations: the sequential seed path (one worker, no basis cache)
+// and the optimized path (bounded worker pool + shared BasisCache). The
+// report is machine-readable so CI can archive it and fail the build when
+// the optimization regresses; see cmd/mfodbench -bench.
+
+// HotpathOptions configures the hot-path benchmark.
+type HotpathOptions struct {
+	// N is the fig3 dataset size; 0 means 200.
+	N int
+	// Seed drives data generation and the detector.
+	Seed int64
+	// Parallel bounds the optimized path's worker pool; 0 means
+	// GOMAXPROCS (the sequential baseline always runs with 1).
+	Parallel int
+	// MinSpeedup, when > 0, makes RunHotpath fail unless both the fit and
+	// the score speedups reach it. CI uses 2.
+	MinSpeedup float64
+}
+
+// HotpathStage holds one benchmarked configuration of one stage.
+type HotpathStage struct {
+	NsPerOp     int64 `json:"nsPerOp"`
+	AllocsPerOp int64 `json:"allocsPerOp"`
+}
+
+// HotpathReport is the machine-readable result written to
+// BENCH_hotpath.json. Speedups are sequential-ns / optimized-ns, so > 1
+// means the optimized path is faster.
+type HotpathReport struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	CPUs     int    `json:"cpus"`
+	Workers  int    `json:"workers"`
+
+	FitSequential   HotpathStage `json:"fitSequential"`
+	FitOptimized    HotpathStage `json:"fitOptimized"`
+	FitSpeedup      float64      `json:"fitSpeedup"`
+	ScoreSequential HotpathStage `json:"scoreSequential"`
+	ScoreOptimized  HotpathStage `json:"scoreOptimized"`
+	ScoreSpeedup    float64      `json:"scoreSpeedup"`
+
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+
+	// MaxAbsScoreDiff is the largest |sequential − optimized| pipeline
+	// score over the dataset; RunHotpath fails when it exceeds 1e-12.
+	MaxAbsScoreDiff float64 `json:"maxAbsScoreDiff"`
+}
+
+// hotpathTolerance bounds the sequential-vs-optimized score disagreement;
+// see DESIGN.md for why it is 1e-12 rather than exactly zero.
+const hotpathTolerance = 1e-12
+
+func stageOf(r testing.BenchmarkResult) HotpathStage {
+	return HotpathStage{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp()}
+}
+
+func hotpathPipeline(seed int64, workers int, noCache bool) *core.Pipeline {
+	p := CurvmapPipeline(iforest.New(iforest.Options{Trees: 300, SampleSize: 64, Seed: seed}))
+	p.Parallel = workers
+	p.Smooth.NoCache = noCache
+	return p
+}
+
+// RunHotpath benchmarks FitDataset and Pipeline.Score on the fig3-sized
+// workload and verifies the optimized path scores within 1e-12 of the
+// sequential one. It returns an error when the equivalence check — or,
+// when MinSpeedup > 0, the speedup floor — fails, so CI can gate on it.
+func RunHotpath(opt HotpathOptions) (*HotpathReport, error) {
+	d, err := Fig3Dataset(opt.N, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	workers := parallel.Workers(opt.Parallel, d.Len())
+	rep := &HotpathReport{
+		Workload: "fig3",
+		N:        d.Len(),
+		M:        d.Samples[0].Len(),
+		CPUs:     runtime.NumCPU(),
+		Workers:  workers,
+	}
+
+	// Equivalence first: a fast benchmark of a wrong answer is worthless.
+	seqPipe := hotpathPipeline(opt.Seed, 1, true)
+	if err := seqPipe.Fit(d); err != nil {
+		return nil, fmt.Errorf("hotpath: sequential fit: %w", err)
+	}
+	seqScores, err := seqPipe.Score(d)
+	if err != nil {
+		return nil, fmt.Errorf("hotpath: sequential score: %w", err)
+	}
+	optPipe := hotpathPipeline(opt.Seed, opt.Parallel, false)
+	if err := optPipe.Fit(d); err != nil {
+		return nil, fmt.Errorf("hotpath: optimized fit: %w", err)
+	}
+	optScores, err := optPipe.Score(d)
+	if err != nil {
+		return nil, fmt.Errorf("hotpath: optimized score: %w", err)
+	}
+	for i := range seqScores {
+		if diff := math.Abs(seqScores[i] - optScores[i]); diff > rep.MaxAbsScoreDiff {
+			rep.MaxAbsScoreDiff = diff
+		}
+	}
+	if rep.MaxAbsScoreDiff > hotpathTolerance {
+		return rep, fmt.Errorf("hotpath: optimized scores diverge from sequential by %g (tolerance %g)",
+			rep.MaxAbsScoreDiff, hotpathTolerance)
+	}
+
+	// Stage 1: FitDataset. The optimized configuration keeps one cache
+	// across iterations — the steady state of repeated experiment splits
+	// and of a loaded serving model.
+	seqOpt := fda.Options{Parallel: 1, NoCache: true}
+	rep.FitSequential = stageOf(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fda.FitDataset(d, seqOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	cache := fda.NewBasisCache()
+	fitOpt := fda.Options{Parallel: opt.Parallel, Cache: cache}
+	rep.FitOptimized = stageOf(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fda.FitDataset(d, fitOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Stage 2: Pipeline.Score on the fitted pipelines from the
+	// equivalence check (the optimized one's cache is already warm).
+	rep.ScoreSequential = stageOf(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := seqPipe.Score(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.ScoreOptimized = stageOf(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := optPipe.Score(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	if rep.FitOptimized.NsPerOp > 0 {
+		rep.FitSpeedup = float64(rep.FitSequential.NsPerOp) / float64(rep.FitOptimized.NsPerOp)
+	}
+	if rep.ScoreOptimized.NsPerOp > 0 {
+		rep.ScoreSpeedup = float64(rep.ScoreSequential.NsPerOp) / float64(rep.ScoreOptimized.NsPerOp)
+	}
+	stats := cache.Stats()
+	rep.CacheHits = stats.Hits
+	rep.CacheMisses = stats.Misses
+
+	if opt.MinSpeedup > 0 {
+		if rep.FitSpeedup < opt.MinSpeedup {
+			return rep, fmt.Errorf("hotpath: FitDataset speedup %.2fx below required %.2fx", rep.FitSpeedup, opt.MinSpeedup)
+		}
+		if rep.ScoreSpeedup < opt.MinSpeedup {
+			return rep, fmt.Errorf("hotpath: Pipeline.Score speedup %.2fx below required %.2fx", rep.ScoreSpeedup, opt.MinSpeedup)
+		}
+	}
+	return rep, nil
+}

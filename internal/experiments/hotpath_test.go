@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunHotpathSmall runs the benchmark harness on a tiny workload: the
+// point is the equivalence gate and the report shape, not the timings.
+func TestRunHotpathSmall(t *testing.T) {
+	rep, err := RunHotpath(HotpathOptions{N: 24, Seed: 7})
+	if err != nil {
+		t.Fatalf("RunHotpath: %v", err)
+	}
+	if rep.Workload != "fig3" {
+		t.Errorf("workload = %q, want fig3", rep.Workload)
+	}
+	if rep.N != 24 || rep.M == 0 {
+		t.Errorf("workload shape n=%d m=%d", rep.N, rep.M)
+	}
+	if rep.MaxAbsScoreDiff > 1e-12 {
+		t.Errorf("MaxAbsScoreDiff = %g, want <= 1e-12", rep.MaxAbsScoreDiff)
+	}
+	if rep.FitSequential.NsPerOp <= 0 || rep.FitOptimized.NsPerOp <= 0 ||
+		rep.ScoreSequential.NsPerOp <= 0 || rep.ScoreOptimized.NsPerOp <= 0 {
+		t.Errorf("missing timings: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Errorf("warm cache reported zero hits: %+v", rep.CacheHits)
+	}
+	// The report must round-trip as JSON for the CI artifact.
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var back HotpathReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if back != *rep {
+		t.Errorf("report did not round-trip: %+v vs %+v", back, *rep)
+	}
+}
+
+// TestRunHotpathMinSpeedupFail proves the CI gate actually gates: an
+// absurd floor must surface as an error while still returning the report.
+func TestRunHotpathMinSpeedupFail(t *testing.T) {
+	rep, err := RunHotpath(HotpathOptions{N: 12, Seed: 3, MinSpeedup: 1e9})
+	if err == nil {
+		t.Fatal("want error for unattainable MinSpeedup")
+	}
+	if rep == nil {
+		t.Fatal("report should accompany the speedup error")
+	}
+}

@@ -1,0 +1,324 @@
+package fda
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bspline"
+	"repro/internal/linalg"
+)
+
+// BasisCache memoizes the sample-independent linear algebra of the
+// penalized smoother across fits: for every (basis size, order, penalty
+// order, domain, measurement grid) combination it keeps the basis, the
+// design matrix Φ, the Gram matrix ΦᵀΦ, the roughness penalty R of
+// Eq. 3, and — per candidate λ — the banded Cholesky factorization of
+// ΦᵀΦ + λR together with the hat-matrix diagonal H_jj and tr(H), none
+// of which depend on the observed values y. Cross-validating over basis
+// sizes and λ therefore stops re-deriving identical factorizations for
+// every sample and every parameter: the per-fit work shrinks to one Φᵀy
+// product, one O(L·k) solve per λ, and the residual scan.
+//
+// The cache also memoizes span-compact design matrices (SpanDesign) per
+// (basis, grid, derivative), which CurveFit.EvalGrid uses to evaluate
+// fitted curves and their derivatives without re-running the Cox–de
+// Boor recursion per sample.
+//
+// A BasisCache is safe for concurrent use; all cached values are pure
+// functions of their keys, so warming the cache never changes a result
+// bit (see TestBasisCacheInvariance). Only the default clamped B-spline
+// construction is cacheable — fits with a custom Options.Basis factory
+// bypass the cache, because a factory closure cannot be keyed.
+type BasisCache struct {
+	mu      sync.Mutex
+	fits    map[fitKey]*fitEntry
+	designs map[designKey]*designEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewBasisCache returns an empty cache. One cache per fitted Pipeline
+// (or per FitDataset call) is the intended granularity.
+func NewBasisCache() *BasisCache {
+	return &BasisCache{
+		fits:    make(map[fitKey]*fitEntry),
+		designs: make(map[designKey]*designEntry),
+	}
+}
+
+// CacheStats reports hit/miss counters for benchmarks and tests.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Stats returns the cumulative lookup counters (fit entries and
+// span-design entries combined).
+func (c *BasisCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// fitKey identifies one smoothing system. The grid is keyed by a hash of
+// its float bits plus its length; the entry keeps the grid itself and
+// lookups verify exact equality, so a collision degrades to a cache
+// bypass, never to a wrong matrix.
+type fitKey struct {
+	dim, order, q int
+	lo, hi        float64
+	m             int
+	tsHash        uint64
+}
+
+// designKey identifies one span-compact design matrix.
+type designKey struct {
+	dim, order, deriv int
+	lo, hi            float64
+	m                 int
+	tsHash            uint64
+}
+
+// designEntry pairs the memoized compact design with the grid it was
+// built on, for exact-equality verification.
+type designEntry struct {
+	ts []float64
+	sd *bspline.SpanDesign
+}
+
+// hashFloats is FNV-1a over the IEEE-754 bit patterns of xs.
+func hashFloats(xs []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range xs {
+		b := math.Float64bits(x)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fitEntryFor returns the shared entry for the default clamped B-spline
+// system of the given size on the given grid, building it on first use.
+// It returns nil when the basis cannot be constructed or the key
+// collides with a different grid; the caller then falls back to an
+// uncached transient entry, which runs the exact same arithmetic.
+func (c *BasisCache) fitEntryFor(dim, order, q int, lo, hi float64, ts []float64) *fitEntry {
+	key := fitKey{dim: dim, order: order, q: q, lo: lo, hi: hi, m: len(ts), tsHash: hashFloats(ts)}
+	c.mu.Lock()
+	e, ok := c.fits[key]
+	if ok && sameFloats(e.ts, ts) {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e
+	}
+	if ok {
+		// Hash collision with a different grid: leave the resident entry
+		// alone and let the caller recompute transiently.
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	basis, err := bspline.New(dim, order, lo, hi)
+	if err != nil {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	e = newFitEntry(basis, ts, q)
+	c.fits[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return e
+}
+
+// spanDesign returns the memoized compact design of the basis on ts at
+// the given derivative order, building it on first use. A key collision
+// returns nil and the caller evaluates transiently.
+func (c *BasisCache) spanDesign(b *bspline.BSpline, ts []float64, deriv int) *bspline.SpanDesign {
+	lo, hi := b.Domain()
+	key := designKey{dim: b.Dim(), order: b.Order(), deriv: deriv, lo: lo, hi: hi, m: len(ts), tsHash: hashFloats(ts)}
+	c.mu.Lock()
+	e, ok := c.designs[key]
+	if ok && sameFloats(e.ts, ts) {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.sd
+	}
+	if ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	tsCopy := make([]float64, len(ts))
+	copy(tsCopy, ts)
+	sd := bspline.NewSpanDesign(b, tsCopy, deriv)
+	c.designs[key] = &designEntry{ts: tsCopy, sd: sd}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return sd
+}
+
+// fitEntry bundles the sample-independent pieces of one smoothing
+// system: basis, design Φ, Gram ΦᵀΦ, lazily the penalty R, and per-λ
+// factorizations with their hat diagonals. Entries are built once and
+// shared across goroutines; the mutex guards only the lazy members.
+type fitEntry struct {
+	basis     bspline.Basis
+	bandwidth int // band of ΦᵀΦ + λR; -1 means dense
+	ts        []float64
+	phi       *linalg.Dense
+	gram      *linalg.Dense
+	q         int
+
+	mu         sync.Mutex
+	penalty    *linalg.Dense
+	penaltyErr error
+	penaltyUp  bool
+	lambdas    map[uint64]*lambdaFactor
+}
+
+// lambdaFactor is one factorized system ΦᵀΦ + λR plus the hat-matrix
+// diagonal H_jj = φ(t_j)ᵀ (ΦᵀΦ + λR)⁻¹ φ(t_j) and its trace, which
+// depend only on the design, never on the fitted sample. err records a
+// factorization that failed even after the ridge retry; the λ candidate
+// is then skipped exactly as in the sequential seed path.
+type lambdaFactor struct {
+	solver spdSolver
+	hat    []float64
+	trH    float64
+	err    error
+}
+
+// newFitEntry builds the eager members (design and Gram matrices). ts is
+// retained; callers that reuse their grid slice must pass a stable one
+// (the cache passes the verified key grid, transient entries live only
+// for one FitCurve call).
+func newFitEntry(basis bspline.Basis, ts []float64, q int) *fitEntry {
+	e := &fitEntry{basis: basis, ts: ts, q: q, bandwidth: -1}
+	if bs, ok := basis.(*bspline.BSpline); ok {
+		// B-spline normal equations are banded with bandwidth order−1
+		// (local support), so the factorization and the hat-diagonal
+		// solves run in O(L·k²) and O(m·L·k) instead of O(L³) and
+		// O(m·L²).
+		e.bandwidth = bs.Order() - 1
+	}
+	e.phi = bspline.DesignMatrix(basis, ts, 0)
+	e.gram = e.phi.AtA()
+	return e
+}
+
+// penaltyMatrix lazily builds the roughness Gram matrix R for the
+// entry's penalty order, with the same quadrature-order choice as the
+// seed path. Caller must hold e.mu.
+func (e *fitEntry) penaltyMatrix() (*linalg.Dense, error) {
+	if e.penaltyUp {
+		return e.penalty, e.penaltyErr
+	}
+	order := e.q + 1
+	if bs, ok := e.basis.(*bspline.BSpline); ok {
+		order = bs.Order() - e.q
+		if order < 1 {
+			order = 1
+		}
+	} else {
+		order = 8
+	}
+	e.penalty, e.penaltyErr = bspline.PenaltyMatrix(e.basis, e.q, order)
+	e.penaltyUp = true
+	return e.penalty, e.penaltyErr
+}
+
+// ensurePenalty forces the penalty build when any λ > 0 is in play, so a
+// penalty construction failure aborts the whole basis size exactly as
+// the sequential seed path did.
+func (e *fitEntry) ensurePenalty() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := e.penaltyMatrix()
+	return err
+}
+
+// lambdaFactorFor returns the factorized system for one λ, building and
+// memoizing it on first use.
+func (e *fitEntry) lambdaFactorFor(lambda float64) *lambdaFactor {
+	key := math.Float64bits(lambda)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lambdas == nil {
+		e.lambdas = make(map[uint64]*lambdaFactor)
+	}
+	if lf, ok := e.lambdas[key]; ok {
+		return lf
+	}
+	lf := e.buildLambdaFactor(lambda)
+	e.lambdas[key] = lf
+	return lf
+}
+
+// buildLambdaFactor assembles ΦᵀΦ + λR, factors it (with the seed
+// path's tiny-ridge retry on semi-definite systems), and precomputes the
+// hat diagonal. Caller must hold e.mu.
+func (e *fitEntry) buildLambdaFactor(lambda float64) *lambdaFactor {
+	L := e.basis.Dim()
+	a := e.gram.Clone()
+	if lambda > 0 {
+		penalty, err := e.penaltyMatrix()
+		if err != nil {
+			return &lambdaFactor{err: err}
+		}
+		for i := 0; i < L; i++ {
+			ai := a.Row(i)
+			pi := penalty.Row(i)
+			for j := 0; j < L; j++ {
+				ai[j] += lambda * pi[j]
+			}
+		}
+	}
+	ch, err := factorSPD(a, e.bandwidth)
+	if err != nil {
+		// Semi-definite system (e.g. λ = 0 with near-collinear columns);
+		// add a tiny ridge and retry once.
+		ridged := a.Clone()
+		eps := 1e-9 * (1 + a.MaxAbs())
+		for i := 0; i < L; i++ {
+			ridged.Set(i, i, ridged.At(i, i)+eps)
+		}
+		ch, err = factorSPD(ridged, e.bandwidth)
+		if err != nil {
+			return &lambdaFactor{err: err}
+		}
+	}
+	// Hat diagonal H_jj = φ(t_j)ᵀ (ΦᵀΦ + λR)⁻¹ φ(t_j): m banded solves,
+	// done once per (basis, λ) instead of once per sample.
+	m := len(e.ts)
+	hat := make([]float64, m)
+	sol := make([]float64, L)
+	var trH float64
+	for j := 0; j < m; j++ {
+		row := e.phi.Row(j)
+		if err := ch.SolveInto(row, sol); err != nil {
+			return &lambdaFactor{err: err}
+		}
+		hat[j] = linalg.Dot(row, sol)
+		trH += hat[j]
+	}
+	return &lambdaFactor{solver: ch, hat: hat, trH: trH}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bspline"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // ErrFit reports a smoothing failure (singular system, bad options).
@@ -42,6 +43,21 @@ type Options struct {
 	// Criterion selects the model-selection score; the default is the
 	// paper's leave-one-out cross-validation.
 	Criterion Criterion
+	// Parallel bounds the FitDataset worker pool: 0 means GOMAXPROCS,
+	// 1 runs sequentially on the calling goroutine. Fits are written
+	// back by sample index, so the result is bitwise identical for
+	// every worker count.
+	Parallel int
+	// Cache memoizes design/penalty matrices and their factorizations
+	// across fits (see BasisCache). nil makes FitDataset create a
+	// private cache for the call; FitCurve and FitSample use a cache
+	// only when one is supplied. Ignored for custom Basis factories.
+	Cache *BasisCache
+	// NoCache disables basis caching entirely, forcing every fit to
+	// rebuild its linear algebra from scratch — the sequential seed
+	// behavior the golden-equivalence suite and BENCH_hotpath.json
+	// compare against.
+	NoCache bool
 }
 
 // Criterion is the model-selection score minimised over candidate basis
@@ -143,18 +159,51 @@ type CurveFit struct {
 	GCV   float64
 	DF    float64
 	Score float64
+
+	// cache, when the fit came from a cached system, lets EvalGrid
+	// reuse memoized span-compact designs across samples.
+	cache *BasisCache
 }
 
 // Eval returns the deriv-th derivative of the fitted curve at t (Eq. 2).
 func (f *CurveFit) Eval(t float64, deriv int) float64 {
+	if bs, ok := f.Basis.(*bspline.BSpline); ok {
+		buf := make([]float64, bs.Order())
+		start := bs.EvalNonzero(t, deriv, buf)
+		var s float64
+		for r, v := range buf {
+			s += f.Coef[start+r] * v
+		}
+		return s
+	}
 	buf := make([]float64, f.Basis.Dim())
 	f.Basis.Eval(t, deriv, buf)
 	return linalg.Dot(f.Coef, buf)
 }
 
-// EvalGrid evaluates the deriv-th derivative on all grid points.
+// EvalGrid evaluates the deriv-th derivative on all grid points. For
+// B-spline bases the evaluation is batched per knot span: only the
+// Order basis functions alive at each point are touched (and, with a
+// cache, their values are shared across every fit on the same grid),
+// instead of re-evaluating and dotting all Dim functions point by
+// point. The compact accumulation keeps the surviving terms in index
+// order, so the result is numerically identical to the point-by-point
+// path.
 func (f *CurveFit) EvalGrid(ts []float64, deriv int) []float64 {
 	out := make([]float64, len(ts))
+	if bs, ok := f.Basis.(*bspline.BSpline); ok {
+		var sd *bspline.SpanDesign
+		if f.cache != nil {
+			sd = f.cache.spanDesign(bs, ts, deriv)
+		}
+		if sd == nil {
+			sd = bspline.NewSpanDesign(bs, ts, deriv)
+		}
+		for j := range ts {
+			out[j] = sd.Dot(j, f.Coef)
+		}
+		return out
+	}
 	buf := make([]float64, f.Basis.Dim())
 	for i, t := range ts {
 		f.Basis.Eval(t, deriv, buf)
@@ -209,17 +258,28 @@ func FitCurve(ts, ys []float64, opt Options) (*CurveFit, error) {
 	}
 	factory := opt.factory()
 	q := opt.penaltyDeriv()
+	cache := opt.Cache
+	if opt.Basis != nil || opt.NoCache {
+		cache = nil
+	}
 	best := (*CurveFit)(nil)
 	var firstErr error
 	for _, dim := range opt.dims(len(ts)) {
-		basis, err := factory(dim, lo, hi)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+		var entry *fitEntry
+		if cache != nil {
+			entry = cache.fitEntryFor(dim, opt.order(), q, lo, hi, ts)
 		}
-		fit, err := fitWithBasis(ts, ys, basis, q, opt.lambdas(), opt.Criterion)
+		if entry == nil {
+			basis, err := factory(dim, lo, hi)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			entry = newFitEntry(basis, ts, q)
+		}
+		fit, err := fitWithEntry(entry, ys, opt.lambdas(), opt.Criterion)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -236,20 +296,24 @@ func FitCurve(ts, ys []float64, opt Options) (*CurveFit, error) {
 		}
 		return nil, fmt.Errorf("fda: no candidate basis fit: %w", ErrFit)
 	}
+	best.cache = cache
 	return best, nil
 }
 
-// fitWithBasis solves Eq. 4 for every candidate λ and keeps the LOOCV
-// minimiser. The LOOCV error of a linear smoother ŷ = H y has the closed
-// form Σ_j ((y_j − ŷ_j)/(1 − H_jj))², avoiding m refits.
-func fitWithBasis(ts, ys []float64, basis bspline.Basis, q int, lambdas []float64, crit Criterion) (*CurveFit, error) {
-	phi := bspline.DesignMatrix(basis, ts, 0)
-	gram := phi.AtA()
-	phiTy, err := phi.AtVec(ys)
+// fitWithEntry solves Eq. 4 for every candidate λ of one (pre-built)
+// smoothing system and keeps the criterion minimiser. The LOOCV error of
+// a linear smoother ŷ = H y has the closed form
+// Σ_j ((y_j − ŷ_j)/(1 − H_jj))², avoiding m refits; the hat diagonal
+// H_jj comes factored and precomputed from the entry, so the per-sample
+// work is one Φᵀy product, one O(L·k) solve per λ and the residual
+// scan. The λ iteration order, the ridge retry and the strict
+// score-minimisation tie-break are exactly those of the sequential seed
+// path, so results are bitwise identical to it.
+func fitWithEntry(e *fitEntry, ys []float64, lambdas []float64, crit Criterion) (*CurveFit, error) {
+	phiTy, err := e.phi.AtVec(ys)
 	if err != nil {
 		return nil, err
 	}
-	var penalty *linalg.Dense
 	needPenalty := false
 	for _, l := range lambdas {
 		if l > 0 {
@@ -258,75 +322,29 @@ func fitWithBasis(ts, ys []float64, basis bspline.Basis, q int, lambdas []float6
 		}
 	}
 	if needPenalty {
-		order := q + 1
-		if bs, ok := basis.(*bspline.BSpline); ok {
-			order = bs.Order() - q
-			if order < 1 {
-				order = 1
-			}
-		} else {
-			order = 8
-		}
-		penalty, err = bspline.PenaltyMatrix(basis, q, order)
-		if err != nil {
+		if err := e.ensurePenalty(); err != nil {
 			return nil, err
 		}
 	}
-	L := basis.Dim()
-	m := len(ts)
-	// B-spline normal equations are banded with bandwidth order−1 (local
-	// support), so the factorization and the m hat-diagonal solves run in
-	// O(L·k²) and O(m·L·k) instead of O(L³) and O(m·L²).
-	bandwidth := -1
-	if bs, ok := basis.(*bspline.BSpline); ok {
-		bandwidth = bs.Order() - 1
-	}
+	L := e.basis.Dim()
+	m := len(e.ts)
+	coefBuf := make([]float64, L)
 	var best *CurveFit
 	for _, lambda := range lambdas {
-		a := gram.Clone()
-		if lambda > 0 {
-			for i := 0; i < L; i++ {
-				ai := a.Row(i)
-				pi := penalty.Row(i)
-				for j := 0; j < L; j++ {
-					ai[j] += lambda * pi[j]
-				}
-			}
-		}
-		ch, err := factorSPD(a, bandwidth)
-		if err != nil {
-			// Semi-definite system (e.g. λ = 0 with near-collinear
-			// columns); add a tiny ridge and retry once.
-			ridged := a.Clone()
-			eps := 1e-9 * (1 + a.MaxAbs())
-			for i := 0; i < L; i++ {
-				ridged.Set(i, i, ridged.At(i, i)+eps)
-			}
-			ch, err = factorSPD(ridged, bandwidth)
-			if err != nil {
-				continue
-			}
-		}
-		coef, err := ch.Solve(phiTy)
-		if err != nil {
+		lf := e.lambdaFactorFor(lambda)
+		if lf.err != nil {
 			continue
 		}
-		// Hat diagonal H_jj = φ(t_j)ᵀ (ΦᵀΦ + λR)⁻¹ φ(t_j).
-		var loocv, rss, trH float64
-		valid := true
+		if err := lf.solver.SolveInto(phiTy, coefBuf); err != nil {
+			continue
+		}
+		var loocv, rss float64
 		for j := 0; j < m; j++ {
-			row := phi.Row(j)
-			sol, err := ch.Solve(row)
-			if err != nil {
-				valid = false
-				break
-			}
-			hjj := linalg.Dot(row, sol)
-			trH += hjj
-			fitted := linalg.Dot(row, coef)
+			row := e.phi.Row(j)
+			fitted := linalg.Dot(row, coefBuf)
 			res := ys[j] - fitted
 			rss += res * res
-			den := 1 - hjj
+			den := 1 - lf.hat[j]
 			if den < 1e-10 {
 				// Interpolating point: LOOCV blows up; score it with the
 				// raw residual so such models lose to genuinely smoother
@@ -336,12 +354,9 @@ func fitWithBasis(ts, ys []float64, basis bspline.Basis, q int, lambdas []float6
 			r := res / den
 			loocv += r * r
 		}
-		if !valid {
-			continue
-		}
 		loocv /= float64(m)
 		gcv := math.Inf(1)
-		if den := float64(m) - trH; den > 1e-10 {
+		if den := float64(m) - lf.trH; den > 1e-10 {
 			gcv = float64(m) * rss / (den * den)
 		}
 		score := loocv
@@ -349,7 +364,9 @@ func fitWithBasis(ts, ys []float64, basis bspline.Basis, q int, lambdas []float6
 			score = gcv
 		}
 		if best == nil || score < best.Score {
-			best = &CurveFit{Basis: basis, Coef: coef, Lambda: lambda, LOOCV: loocv, GCV: gcv, DF: trH, Score: score}
+			coef := make([]float64, L)
+			copy(coef, coefBuf)
+			best = &CurveFit{Basis: e.basis, Coef: coef, Lambda: lambda, LOOCV: loocv, GCV: gcv, DF: lf.trH, Score: score}
 		}
 	}
 	if best == nil {
@@ -361,6 +378,7 @@ func fitWithBasis(ts, ys []float64, basis bspline.Basis, q int, lambdas []float6
 // spdSolver abstracts the dense and banded Cholesky factorizations.
 type spdSolver interface {
 	Solve(b []float64) ([]float64, error)
+	SolveInto(b, x []float64) error
 }
 
 // factorSPD picks the banded factorization when the caller knows the
@@ -390,6 +408,15 @@ func FitSample(s Sample, opt Options) (*Fit, error) {
 
 // FitDataset fits every sample of the dataset, fixing the basis domain to
 // the dataset's global domain so all fits are comparable on one grid.
+//
+// Samples fan out over a bounded worker pool (Options.Parallel; 0 means
+// GOMAXPROCS) sharing one BasisCache, so the design/penalty matrices
+// and factorizations of the λ × basis-size grid are derived once for
+// the whole dataset. Each fit is written back to its sample index and
+// the per-fit arithmetic does not depend on scheduling, so the result
+// is bitwise identical for every worker count and for cold vs warm
+// caches; on error the lowest-index sample's error is returned, exactly
+// as a sequential loop would surface it.
 func FitDataset(d Dataset, opt Options) ([]*Fit, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -397,13 +424,21 @@ func FitDataset(d Dataset, opt Options) ([]*Fit, error) {
 	if opt.Lo == opt.Hi {
 		opt.Lo, opt.Hi = d.Domain()
 	}
+	if opt.Cache == nil && !opt.NoCache && opt.Basis == nil {
+		opt.Cache = NewBasisCache()
+	}
 	fits := make([]*Fit, d.Len())
-	for i, s := range d.Samples {
-		f, err := FitSample(s, opt)
+	errs := make([]error, d.Len())
+	parallel.For(d.Len(), opt.Parallel, func(_, i int) {
+		f, err := FitSample(d.Samples[i], opt)
 		if err != nil {
-			return nil, fmt.Errorf("fda: sample %d: %w", i, err)
+			errs[i] = fmt.Errorf("fda: sample %d: %w", i, err)
+			return
 		}
 		fits[i] = f
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return fits, nil
 }

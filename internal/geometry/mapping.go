@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/fda"
+	"repro/internal/parallel"
 )
 
 // ErrMapping reports a mapping that cannot be applied to the given fit
@@ -80,7 +81,11 @@ func (Curvature) Name() string { return "curvature" }
 // MinDim implements Mapping; curvature needs a path in at least R².
 func (Curvature) MinDim() int { return 2 }
 
-// Map implements Mapping.
+// Map implements Mapping. The derivative evaluation is batched per
+// parameter through Fit.EvalGrid, so the span-compact designs (and,
+// under a fitted Pipeline, the shared basis cache) are hit once per
+// parameter instead of re-evaluating basis functions at every grid
+// point; the per-point κ arithmetic is unchanged.
 func (c Curvature) Map(fit *fda.Fit, ts []float64) ([]float64, error) {
 	if fit.Dim() < 2 {
 		return nil, fmt.Errorf("geometry: curvature needs p >= 2, got %d: %w", fit.Dim(), ErrMapping)
@@ -89,9 +94,17 @@ func (c Curvature) Map(fit *fda.Fit, ts []float64) ([]float64, error) {
 	if max == 0 {
 		max = 1e3
 	}
+	d1 := fit.EvalGrid(ts, 1)
+	d2 := fit.EvalGrid(ts, 2)
+	p := fit.Dim()
+	v := make([]float64, p)
+	a := make([]float64, p)
 	out := make([]float64, len(ts))
-	for i, t := range ts {
-		v, a := velocityAcceleration(fit, t)
+	for i := range ts {
+		for k := 0; k < p; k++ {
+			v[k] = d1[k][i]
+			a[k] = d2[k][i]
+		}
 		k := curvatureAt(v, a)
 		if k > max {
 			k = max
@@ -388,18 +401,34 @@ func Registry() map[string]Mapping {
 }
 
 // MapDataset applies the mapping to every fitted sample on a shared grid,
-// returning the n feature vectors the detector layer consumes.
+// returning the n feature vectors the detector layer consumes. It runs
+// sequentially; MapDatasetParallel is the fan-out form.
 func MapDataset(fits []*fda.Fit, m Mapping, ts []float64) ([][]float64, error) {
+	return MapDatasetParallel(fits, m, ts, 1)
+}
+
+// MapDatasetParallel is MapDataset over a bounded worker pool (workers
+// <= 0 means GOMAXPROCS). Every Mapping in this package is read-only
+// after construction, and feature vectors are written back by sample
+// index, so the output is bitwise identical to the sequential path; on
+// error the lowest-index sample's error is returned, exactly as the
+// sequential loop would surface it.
+func MapDatasetParallel(fits []*fda.Fit, m Mapping, ts []float64, workers int) ([][]float64, error) {
 	if len(fits) == 0 {
 		return nil, fmt.Errorf("geometry: no fits to map: %w", ErrMapping)
 	}
 	out := make([][]float64, len(fits))
-	for i, f := range fits {
-		v, err := m.Map(f, ts)
+	errs := make([]error, len(fits))
+	parallel.For(len(fits), workers, func(_, i int) {
+		v, err := m.Map(fits[i], ts)
 		if err != nil {
-			return nil, fmt.Errorf("geometry: sample %d: %w", i, err)
+			errs[i] = fmt.Errorf("geometry: sample %d: %w", i, err)
+			return
 		}
 		out[i] = v
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

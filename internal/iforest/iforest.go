@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // ErrNotFitted is returned when Score is called before Fit.
@@ -212,13 +214,21 @@ func (f *Forest) Score(xq []float64) (float64, error) {
 
 // ScoreBatch scores every row of x.
 func (f *Forest) ScoreBatch(x [][]float64) ([]float64, error) {
+	// Rows fan out over the shared bounded pool: Score only reads the
+	// fitted trees and each result lands in its own slot, so the output
+	// (and the surfaced error) is identical to the sequential loop.
 	out := make([]float64, len(x))
-	for i, xi := range x {
-		s, err := f.Score(xi)
+	errs := make([]error, len(x))
+	parallel.For(len(x), 0, func(_, i int) {
+		s, err := f.Score(x[i])
 		if err != nil {
-			return nil, fmt.Errorf("iforest: sample %d: %w", i, err)
+			errs[i] = fmt.Errorf("iforest: sample %d: %w", i, err)
+			return
 		}
 		out[i] = s
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -87,14 +87,27 @@ func NewBandCholesky(a *Dense, k int) (*BandCholesky, error) {
 
 // Solve solves A x = b in O(n·k).
 func (bc *BandCholesky) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, bc.n)
+	if err := bc.SolveInto(b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b in O(n·k) into the caller-provided x
+// (length n), the allocation-free form the smoothing hot path uses with
+// per-worker scratch buffers. x must not alias b.
+func (bc *BandCholesky) SolveInto(b, x []float64) error {
 	if len(b) != bc.n {
-		return nil, fmt.Errorf("linalg: band solve rhs %d want %d: %w", len(b), bc.n, ErrShape)
+		return fmt.Errorf("linalg: band solve rhs %d want %d: %w", len(b), bc.n, ErrShape)
+	}
+	if len(x) != bc.n {
+		return fmt.Errorf("linalg: band solve dst %d want %d: %w", len(x), bc.n, ErrShape)
 	}
 	n, k := bc.n, bc.k
 	w := k + 1
 	idx := func(i, j int) int { return i*w + (j - i + k) }
-	// Forward substitution L y = b.
-	y := make([]float64, n)
+	// Forward substitution L y = b, with y stored in x.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		lo := i - k
@@ -102,12 +115,11 @@ func (bc *BandCholesky) Solve(b []float64) ([]float64, error) {
 			lo = 0
 		}
 		for m := lo; m < i; m++ {
-			s -= bc.l[idx(i, m)] * y[m]
+			s -= bc.l[idx(i, m)] * x[m]
 		}
-		y[i] = s / bc.l[idx(i, i)]
+		x[i] = s / bc.l[idx(i, i)]
 	}
-	// Back substitution Lᵀ x = y.
-	x := y
+	// Back substitution Lᵀ x = y, in place.
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
 		hi := i + k
@@ -119,5 +131,5 @@ func (bc *BandCholesky) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = s / bc.l[idx(i, i)]
 	}
-	return x, nil
+	return nil
 }

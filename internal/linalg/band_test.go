@@ -204,3 +204,37 @@ func BenchmarkCholeskyBanded21(b *testing.B) {
 		}
 	}
 }
+
+// TestBandSolveIntoMatchesSolve checks that the scratch-buffer form is
+// bitwise identical to the allocating one and validates its dst length.
+func TestBandSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomBandedSPD(rng, 17, 3)
+	bc, err := NewBandCholesky(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, 17)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	want, err := bc.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 17)
+	if err := bc.SolveInto(rhs, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("x[%d]: SolveInto %g, Solve %g", i, got[i], want[i])
+		}
+	}
+	if err := bc.SolveInto(rhs, make([]float64, 5)); err == nil {
+		t.Fatal("SolveInto accepted short dst")
+	}
+	if err := bc.SolveInto(make([]float64, 5), got); err == nil {
+		t.Fatal("SolveInto accepted short rhs")
+	}
+}

@@ -45,22 +45,34 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 
 // Solve solves A x = b for x.
 func (ch *Cholesky) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, ch.n)
+	if err := ch.SolveInto(b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b into the caller-provided x (length n), the
+// allocation-free form the smoothing hot path uses with per-worker
+// scratch buffers. x must not alias b.
+func (ch *Cholesky) SolveInto(b, x []float64) error {
 	if len(b) != ch.n {
-		return nil, fmt.Errorf("linalg: cholesky solve rhs %d want %d: %w", len(b), ch.n, ErrShape)
+		return fmt.Errorf("linalg: cholesky solve rhs %d want %d: %w", len(b), ch.n, ErrShape)
+	}
+	if len(x) != ch.n {
+		return fmt.Errorf("linalg: cholesky solve dst %d want %d: %w", len(x), ch.n, ErrShape)
 	}
 	n := ch.n
-	// Forward substitution L y = b.
-	y := make([]float64, n)
+	// Forward substitution L y = b, with y stored in x.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		li := ch.l[i*n:]
 		for k := 0; k < i; k++ {
-			s -= li[k] * y[k]
+			s -= li[k] * x[k]
 		}
-		y[i] = s / li[i]
+		x[i] = s / li[i]
 	}
-	// Back substitution Lᵀ x = y.
-	x := y
+	// Back substitution Lᵀ x = y, in place.
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
 		for k := i + 1; k < n; k++ {
@@ -68,7 +80,7 @@ func (ch *Cholesky) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = s / ch.l[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // SolveMatrix solves A X = B column by column.

@@ -216,3 +216,37 @@ func TestSolveSPDFallsBackOnSemiDefinite(t *testing.T) {
 		t.Fatalf("residual too large: Ax = %v", ax)
 	}
 }
+
+// TestCholeskySolveIntoMatchesSolve checks that the scratch-buffer form
+// is bitwise identical to the allocating one and validates lengths.
+func TestCholeskySolveIntoMatchesSolve(t *testing.T) {
+	a := NewDense(3, 3)
+	vals := [][]float64{{4, 2, 0.5}, {2, 5, 1}, {0.5, 1, 3}}
+	for i := range vals {
+		copy(a.Row(i), vals[i])
+	}
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := []float64{1, -2, 0.25}
+	want, err := ch.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 3)
+	if err := ch.SolveInto(rhs, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("x[%d]: SolveInto %g, Solve %g", i, got[i], want[i])
+		}
+	}
+	if err := ch.SolveInto(rhs, make([]float64, 2)); err == nil {
+		t.Fatal("SolveInto accepted short dst")
+	}
+	if err := ch.SolveInto(make([]float64, 2), got); err == nil {
+		t.Fatal("SolveInto accepted short rhs")
+	}
+}

@@ -66,6 +66,11 @@ func (m *Model) reload() error {
 	if err != nil {
 		return fmt.Errorf("serve: reload %s: %w", m.name, err)
 	}
+	// Request concurrency already comes from the serving pool; letting
+	// every request fan its samples out over GOMAXPROCS workers on top of
+	// that would just oversubscribe the CPUs, so pin the per-pipeline pool
+	// to sequential. Scores are bitwise identical for every setting.
+	p.Parallel = 1
 	m.pipe.Store(p)
 	m.loadedAt.Store(time.Now().UnixNano())
 	return nil
