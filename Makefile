@@ -1,10 +1,10 @@
 # Developer gate for the repository. `make check` is the one command to
-# run before sending a change: tier-1 verify (build + test) plus vet and
-# the race-detector suite.
+# run before sending a change: tier-1 verify (build + test) plus vet,
+# the custom static-analysis suite, and the race-detector suite.
 
 GO ?= go
 
-.PHONY: build vet test test-race test-chaos bench bench-hotpath fuzz check
+.PHONY: build vet lint test test-race test-chaos bench bench-hotpath fuzz check
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Custom static analysis (internal/analysis via cmd/mfodlint): the
+# nodeterminism / floateq / mutafterfit / poolmisuse invariants, with
+# //mfodlint:allow escape hatches that must carry a reason. See the
+# README "Static analysis" section.
+lint:
+	$(GO) run ./cmd/mfodlint ./...
+
 test:
 	$(GO) test ./...
 
 # The race suite focuses on the concurrent paths: the serving subsystem,
-# the shared-pipeline scoring guarantee, the server binary, and the
-# smoothing/mapping hot path (worker pool + shared basis cache).
+# the shared-pipeline scoring guarantee, the server binary, the
+# smoothing/mapping hot path (worker pool + shared basis cache), and the
+# analyzer suite (whose repo-clean test loads and checks the whole tree).
 test-race:
 	$(GO) test -race ./internal/serve ./internal/core ./cmd/mfodserve \
-		./internal/fda ./internal/geometry ./internal/parallel
+		./internal/fda ./internal/geometry ./internal/parallel \
+		./internal/analysis
 
 # Chaos gate: the fault-injection and resilience packages plus the serve
 # chaos suite (Chaos* tests arm faultinject points), under the race
@@ -42,4 +51,4 @@ bench-hotpath:
 fuzz:
 	$(GO) test -fuzz=FuzzBSplineEval -fuzztime=30s -run=^$$ ./internal/bspline
 
-check: build vet test test-race test-chaos
+check: build vet lint test test-race test-chaos

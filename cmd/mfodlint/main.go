@@ -1,0 +1,114 @@
+// Command mfodlint runs the repo's custom static-analysis suite
+// (internal/analysis) over the packages matching the given patterns and
+// reports findings with file:line:col positions.
+//
+//	mfodlint [flags] [packages]
+//
+// With no patterns it analyzes ./... relative to the enclosing module
+// root. The exit status is 1 when any unsuppressed finding exists, so
+// CI can gate on it; -json emits the full report — suppressed findings
+// and their //mfodlint:allow reasons included — for artifact upload and
+// review.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type report struct {
+	Findings []analysis.Finding `json:"findings"`
+	// Active counts the findings that caused a nonzero exit.
+	Active int `json:"active"`
+	// Suppressed counts findings covered by //mfodlint:allow directives.
+	Suppressed int `json:"suppressed"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mfodlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the full report (suppressed findings included) as JSON")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", "", "run from this directory instead of the enclosing module root")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = moduleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "mfodlint:", err)
+			return 2
+		}
+	}
+	pkgs, err := analysis.Load(root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "mfodlint:", err)
+		return 2
+	}
+	findings := analysis.RunAnalyzers(pkgs, analysis.All())
+	active := analysis.Active(findings)
+
+	if *jsonOut {
+		rep := report{
+			Findings:   findings,
+			Active:     len(active),
+			Suppressed: len(findings) - len(active),
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "mfodlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range active {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(active) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "mfodlint: %d finding(s)\n", len(active))
+		}
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod,
+// so mfodlint can be invoked from any subdirectory of the repo.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("no go.mod found above the working directory; pass -C <moduleroot>")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	for _, name := range []string{"nodeterminism", "floateq", "mutafterfit", "poolmisuse"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/parallel"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s, stdout = %s", code, errb.String(), out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Active != 0 {
+		t.Errorf("active findings in internal/parallel: %+v", rep.Findings)
+	}
+}
+
+// TestViolationExitsOne builds a throwaway module with a float-equality
+// violation and asserts the binary reports it with a file:line position
+// and exit status 1 — the CI gate contract.
+func TestViolationExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixturemod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package fixturemod
+
+// Eq compares floats exactly.
+func Eq(a, b float64) bool {
+	return a == b
+}
+`)
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr = %s stdout = %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "bad.go:5:") || !strings.Contains(out.String(), "floateq") {
+		t.Errorf("diagnostic missing file:line position or analyzer name:\n%s", out.String())
+	}
+}
+
+func TestViolationJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixturemod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package fixturemod
+
+func Eq(a, b float64) bool {
+	return a == b //mfodlint:allow floateq fixture suppression for the JSON report test
+}
+
+func Neq(a, b float64) bool {
+	return a != b
+}
+`)
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr = %s", code, errb.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Active != 1 || rep.Suppressed != 1 {
+		t.Errorf("active = %d suppressed = %d, want 1 and 1: %+v", rep.Active, rep.Suppressed, rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Suppressed && f.Reason == "" {
+			t.Errorf("suppressed finding lost its reason: %+v", f)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

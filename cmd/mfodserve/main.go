@@ -158,6 +158,7 @@ func run(o serveOptions) error {
 	if o.ready != nil {
 		o.ready <- ln.Addr().String()
 	}
+	//mfodlint:allow poolmisuse server lifecycle goroutine, not numeric fan-out: the accept loop must run concurrently with signal handling and is joined via errc on shutdown
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	select {

@@ -1,0 +1,178 @@
+// Package analysis is the repo's custom static-analysis suite. It
+// enforces, at lint time, the invariants the numeric and concurrent
+// code relies on but the compiler cannot check:
+//
+//   - nodeterminism: packages on the deterministic score path must not
+//     read wall clocks, draw from the global math/rand source, or build
+//     results while ranging over a map (map iteration order would leak
+//     into scores, breaking the bit-reproducibility the golden-score
+//     and fault-injection suites assume; see internal/faultinject/doc.go).
+//   - floateq: float operands must not be compared with == / != except
+//     against literal zero, math.Inf/math.NaN calls, or the x != x NaN
+//     idiom — everything else needs a tolerance (DESIGN.md).
+//   - mutafterfit: Score*/Transform* methods must not assign to
+//     receiver state; the read-only-after-Fit contract is what makes
+//     concurrent scoring safe (see internal/parallel/doc.go).
+//   - poolmisuse: goroutines are launched only inside
+//     internal/parallel, internal/serve and internal/resilience, and
+//     slices filled by a parallel.For worker are not consumed before
+//     the parallel.FirstError check.
+//
+// The suite is built only on the standard library (go/ast, go/parser,
+// go/types, go/token) so the module stays dependency-free. Findings can
+// be suppressed line-by-line with a directive that must carry a reason:
+//
+//	//mfodlint:allow <analyzer> <reason...>
+//
+// A directive on line L suppresses findings of that analyzer on line L
+// (trailing comment) or line L+1 (comment above the statement).
+// Malformed, reason-less, unknown-analyzer and unused directives are
+// themselves findings, so every suppression in the tree stays justified
+// and current.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one diagnostic produced by an analyzer, addressed by
+// file:line:col so editors and CI can jump to it.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Suppressed is true when an //mfodlint:allow directive covers the
+	// finding; suppressed findings never fail the build but are kept in
+	// the JSON report so reviewers can audit them.
+	Suppressed bool `json:"suppressed,omitempty"`
+	// Reason is the justification carried by the suppressing directive.
+	Reason string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description for -list output and README.
+	Doc string
+	// Run inspects the package behind pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed non-test source files of the package.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for the package.
+	Pkg  *types.Package
+	Info *types.Info
+	// Path is the package import path ("repro/internal/fda").
+	Path string
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DirectiveCheck is the pseudo-analyzer name under which malformed or
+// unused allow directives are reported. Directive findings cannot
+// themselves be suppressed.
+const DirectiveCheck = "directive"
+
+// RunAnalyzers runs every analyzer over every package, applies the
+// allow directives, and returns all findings (suppressed ones included,
+// marked as such) sorted by position. Callers decide the exit status
+// from the unsuppressed count (see Active).
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg, known)
+		all = append(all, bad...)
+
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+		for i := range raw {
+			if d := dirs.match(raw[i].Analyzer, raw[i].File, raw[i].Line); d != nil {
+				raw[i].Suppressed = true
+				raw[i].Reason = d.reason
+				d.used = true
+			}
+		}
+		all = append(all, raw...)
+		for _, d := range dirs.all {
+			if !d.used {
+				all = append(all, Finding{
+					Analyzer: DirectiveCheck,
+					File:     d.file,
+					Line:     d.line,
+					Col:      d.col,
+					Message: fmt.Sprintf(
+						"unused //mfodlint:allow %s directive: it suppresses nothing on this or the next line; delete it or move it to the finding", d.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		if all[i].Col != all[j].Col {
+			return all[i].Col < all[j].Col
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all
+}
+
+// Active returns the findings that fail the build: everything not
+// suppressed by a valid allow directive.
+func Active(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+package analysis
+
+// All returns the full analyzer suite in the order diagnostics are
+// documented in README ("Static analysis").
+func All() []*Analyzer {
+	return []*Analyzer{Nodeterminism, Floateq, Mutafterfit, Poolmisuse}
+}

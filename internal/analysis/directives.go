@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full syntax is
+//
+//	//mfodlint:allow <analyzer> <reason...>
+//
+// and the reason is mandatory: a suppression that cannot say why it is
+// safe is a finding in its own right.
+const directivePrefix = "//mfodlint:"
+
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	col      int
+	used     bool
+}
+
+// directiveIndex holds the valid directives of one package keyed by
+// file so findings can be matched against them cheaply.
+type directiveIndex struct {
+	byFile map[string][]*directive
+	all    []*directive
+}
+
+// match returns the directive covering a finding of analyzer at
+// file:line, if any. A directive covers its own line (trailing comment)
+// and the line below it (comment above the flagged statement).
+func (idx *directiveIndex) match(analyzer, file string, line int) *directive {
+	for _, d := range idx.byFile[file] {
+		if d.analyzer == analyzer && (d.line == line || d.line == line-1) {
+			return d
+		}
+	}
+	return nil
+}
+
+// collectDirectives scans every comment in the package for mfodlint
+// directives. Well-formed ones are returned in an index; malformed ones
+// (bad verb, unknown analyzer, missing reason) come back as findings
+// under the DirectiveCheck pseudo-analyzer.
+func collectDirectives(pkg *Package, known map[string]bool) (*directiveIndex, []Finding) {
+	idx := &directiveIndex{byFile: make(map[string][]*directive)}
+	var bad []Finding
+	report := func(file string, line, col int, format string, args ...any) {
+		bad = append(bad, Finding{
+			Analyzer: DirectiveCheck,
+			File:     file,
+			Line:     line,
+			Col:      col,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "allow" {
+					report(pos.Filename, pos.Line, pos.Column,
+						"unknown mfodlint directive %q: only //mfodlint:allow <analyzer> <reason> is supported", verb)
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" {
+					report(pos.Filename, pos.Line, pos.Column,
+						"mfodlint:allow directive names no analyzer")
+					continue
+				}
+				if name == DirectiveCheck {
+					report(pos.Filename, pos.Line, pos.Column,
+						"directive findings cannot be suppressed")
+					continue
+				}
+				if !known[name] {
+					report(pos.Filename, pos.Line, pos.Column,
+						"mfodlint:allow names unknown analyzer %q", name)
+					continue
+				}
+				if reason == "" {
+					report(pos.Filename, pos.Line, pos.Column,
+						"mfodlint:allow %s carries no reason; a suppression must say why it is safe", name)
+					continue
+				}
+				d := &directive{
+					analyzer: name,
+					reason:   reason,
+					file:     pos.Filename,
+					line:     pos.Line,
+					col:      pos.Column,
+				}
+				idx.byFile[d.file] = append(idx.byFile[d.file], d)
+				idx.all = append(idx.all, d)
+			}
+		}
+	}
+	return idx, bad
+}

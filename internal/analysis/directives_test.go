@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture type-checks an ad-hoc single-file package in a temp dir,
+// outside the module, so directive edge cases (which would fail the
+// repo's own lint) can be exercised without polluting testdata.
+func writeFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "fixture/dirtest")
+	if err != nil {
+		t.Fatalf("load ad-hoc fixture: %v", err)
+	}
+	return pkg
+}
+
+func findingsContaining(findings []Finding, substr string) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if strings.Contains(f.Message, substr) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestDirectiveMissingReason(t *testing.T) {
+	pkg := writeFixture(t, `package dirtest
+
+func Eq(a, b float64) bool {
+	return a == b //mfodlint:allow floateq
+}
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if got := findingsContaining(findings, "carries no reason"); len(got) != 1 {
+		t.Errorf("missing-reason directive findings = %v", findings)
+	}
+	// The reason-less directive must not suppress the float comparison.
+	if got := findingsContaining(Active(findings), "float operands"); len(got) != 1 {
+		t.Errorf("float finding should stay active: %v", findings)
+	}
+}
+
+func TestDirectiveUnknownAnalyzer(t *testing.T) {
+	pkg := writeFixture(t, `package dirtest
+
+//mfodlint:allow nosuchcheck because reasons
+func F() {}
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if got := findingsContaining(findings, "unknown analyzer"); len(got) != 1 {
+		t.Errorf("unknown-analyzer findings = %v", findings)
+	}
+}
+
+func TestDirectiveUnknownVerb(t *testing.T) {
+	pkg := writeFixture(t, `package dirtest
+
+//mfodlint:deny floateq whatever
+func F() {}
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if got := findingsContaining(findings, "unknown mfodlint directive"); len(got) != 1 {
+		t.Errorf("unknown-verb findings = %v", findings)
+	}
+}
+
+func TestDirectiveUnused(t *testing.T) {
+	pkg := writeFixture(t, `package dirtest
+
+//mfodlint:allow floateq nothing on the next line compares floats
+func F() int { return 1 }
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if got := findingsContaining(findings, "unused //mfodlint:allow"); len(got) != 1 {
+		t.Errorf("unused-directive findings = %v", findings)
+	}
+}
+
+func TestDirectiveCannotSuppressDirectiveCheck(t *testing.T) {
+	pkg := writeFixture(t, `package dirtest
+
+//mfodlint:allow directive trying to silence the directive checker
+func F() {}
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if got := findingsContaining(findings, "cannot be suppressed"); len(got) != 1 {
+		t.Errorf("directive-suppression findings = %v", findings)
+	}
+}
+
+func TestDirectiveSuppressionCarriesReason(t *testing.T) {
+	pkg := writeFixture(t, `package dirtest
+
+func Eq(a, b float64) bool {
+	return a == b //mfodlint:allow floateq exact comparison justified for this test
+}
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if len(Active(findings)) != 0 {
+		t.Errorf("active findings remain: %v", Active(findings))
+	}
+	var suppressed []Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed = append(suppressed, f)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %v", suppressed)
+	}
+	if want := "exact comparison justified for this test"; suppressed[0].Reason != want {
+		t.Errorf("reason = %q, want %q", suppressed[0].Reason, want)
+	}
+}
+
+func TestDirectiveOnLineAboveSuppresses(t *testing.T) {
+	pkg := writeFixture(t, `package dirtest
+
+func Eq(a, b float64) bool {
+	//mfodlint:allow floateq directive above the statement also counts
+	return a == b
+}
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if len(Active(findings)) != 0 {
+		t.Errorf("active findings remain: %v", Active(findings))
+	}
+}
+
+func TestDirectiveDoesNotLeakToOtherAnalyzers(t *testing.T) {
+	// A nodeterminism allow must not silence a floateq finding on the
+	// same line.
+	pkg := writeFixture(t, `package dirtest
+
+func Eq(a, b float64) bool {
+	return a == b //mfodlint:allow nodeterminism wrong analyzer named here
+}
+`)
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if got := findingsContaining(Active(findings), "float operands"); len(got) != 1 {
+		t.Errorf("float finding should stay active: %v", findings)
+	}
+}

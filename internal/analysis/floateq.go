@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags == and != between floating-point operands. Exact float
+// equality is almost never what numeric code means: smoothing, depth
+// and geometry results differ in the last ulps between evaluation
+// orders, so comparisons belong behind a tolerance (DESIGN.md sets the
+// repo-wide 1e-12 convention). Exempt are the well-defined exact
+// comparisons: against literal zero (sign tests and guard clauses),
+// against math.Inf / math.NaN calls, the x != x NaN idiom, and
+// constant-folded comparisons with no runtime operand.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid == / != on float32/float64 operands except literal-zero, " +
+		"math.Inf/math.NaN, and x != x NaN-idiom comparisons; use a tolerance " +
+		"(DESIGN.md, 1e-12 convention)",
+	Run: runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p, be.X) && !isFloatExpr(p, be.Y) {
+				return true
+			}
+			if isConst(p, be.X) && isConst(p, be.Y) {
+				return true // folded at compile time, no runtime comparison
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			if isInfOrNaNCall(p, be.X) || isInfOrNaNCall(p, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the portable NaN test
+			}
+			p.Reportf(be.OpPos,
+				"float operands compared with %s: exact float equality is order-of-evaluation dependent; compare against a tolerance (DESIGN.md, 1e-12 convention) or use math.Float64bits for intentional bit equality", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isZeroConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func isInfOrNaNCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" &&
+		(fn.Name() == "Inf" || fn.Name() == "NaN")
+}

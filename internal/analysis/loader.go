@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/fda").
+	Path string
+	// Name is the package name ("fda", "main").
+	Name string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files (go list GoFiles); test
+	// files are outside the lint contract.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// disableCgo forces pure-Go file sets out of go/build so the fallback
+// source importer never needs a C toolchain. Done once, process-wide:
+// the analyzers only ever look at pure-Go declarations.
+var disableCgo = sync.OnceFunc(func() { build.Default.CgoEnabled = false })
+
+// Load enumerates the packages matching patterns with `go list` run in
+// dir, then parses and type-checks them from source in dependency
+// order. Only packages inside the module are returned for analysis;
+// standard-library imports are type-checked on demand by a source
+// importer. The loader is stdlib-only: no external analysis framework.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	disableCgo()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		fallback: importer.ForCompiler(fset, "source", nil),
+		checked:  make(map[string]*types.Package),
+	}
+
+	var out []*Package
+	// `go list -deps` emits dependencies before dependents, so each
+	// package's module imports are already in imp.checked when its turn
+	// comes.
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		imp.checked[lp.ImportPath] = pkg.Types
+		if !lp.DepOnly {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files (used
+// for the analyzer fixture packages under testdata, which go list
+// deliberately ignores). importPath is the path the package poses as;
+// imports resolve through the source importer, so fixtures may import
+// both the standard library and this module's packages.
+func LoadDir(dir, importPath string) (*Package, error) {
+	disableCgo()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var files []string
+	for _, m := range matches {
+		if !strings.HasSuffix(m, "_test.go") {
+			files = append(files, m)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		fallback: importer.ForCompiler(fset, "source", nil),
+		checked:  make(map[string]*types.Package),
+	}
+	return checkPackage(fset, imp, listedPkg{
+		Dir:        dir,
+		ImportPath: importPath,
+		GoFiles:    basenames(files),
+	})
+}
+
+func basenames(paths []string) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = filepath.Base(p)
+	}
+	return out
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Name:  tpkg.Name(),
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// moduleImporter serves module-internal imports from the packages the
+// loader has already checked and defers everything else (in practice,
+// the standard library) to the source importer.
+type moduleImporter struct {
+	fallback types.Importer
+	checked  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	if from, ok := m.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return m.fallback.Import(path)
+}
+
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPkg
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages on the deterministic score path:
+// everything between raw curves and final outlyingness scores must be
+// bit-reproducible run to run so golden-score comparison, the
+// fault-injection suite's seeded probability triggers, and cross-run
+// paper-figure reproduction stay meaningful. Matched by import-path
+// base so fixture packages under testdata participate.
+var deterministicPkgs = map[string]bool{
+	"fda":      true,
+	"bspline":  true,
+	"geometry": true,
+	"depth":    true,
+	"iforest":  true,
+	"lof":      true,
+	"ocsvm":    true,
+	"linalg":   true,
+	"stats":    true,
+	"core":     true,
+}
+
+// seededRandConstructors are the math/rand entry points that take an
+// explicit source or seed; everything else at package level draws from
+// the process-global, scheduling-dependent source.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Nodeterminism flags nondeterminism sources inside the deterministic
+// score-path packages: wall-clock reads (time.Now), draws from the
+// global math/rand source (argless top-level rand.* calls), and result
+// construction inside a map range, whose iteration order varies per
+// run. Seeded *rand.Rand streams (stats.NewRand / rand.New with an
+// explicit seed) are the sanctioned randomness and are not flagged.
+var Nodeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid time.Now, global math/rand and map-range result construction " +
+		"in deterministic score-path packages (fda, bspline, geometry, depth, " +
+		"iforest, lof, ocsvm, linalg, stats, core); scores must be " +
+		"bit-reproducible (see internal/faultinject/doc.go)",
+	Run: runNodeterminism,
+}
+
+func runNodeterminism(p *Pass) {
+	if !deterministicPkgs[pathBase(p.Path)] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(p, n)
+			case *ast.RangeStmt:
+				checkMapRange(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkNondetCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Methods on a seeded *rand.Rand (or time.Time values) are the
+		// deterministic way to use these packages.
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			p.Reportf(call.Pos(),
+				"time.Now on the deterministic score path: scores must be bit-reproducible across runs (see internal/faultinject/doc.go); derive values from inputs or a seed")
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandConstructors[fn.Name()] {
+			p.Reportf(call.Pos(),
+				"global math/rand source (rand.%s) on the deterministic score path: draw from a seeded *rand.Rand (stats.NewRand) so scores are bit-reproducible (see internal/faultinject/doc.go)", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags loops that range over a map while appending to a
+// result: the element order of the result then depends on map iteration
+// order, which Go randomizes per run. Collect-then-sort loops trip this
+// too; they are the intended use of the allow directive (with the sort
+// named in the reason).
+func checkMapRange(p *Pass, rng *ast.RangeStmt) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	appends := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+				appends = true
+				return false
+			}
+		}
+		return true
+	})
+	if appends {
+		p.Reportf(rng.Pos(),
+			"result built by appending inside a map range: element order follows map iteration order, which varies per run; iterate a sorted key slice instead (see internal/faultinject/doc.go)")
+	}
+}

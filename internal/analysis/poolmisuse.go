@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutinePkgs are the packages allowed to launch goroutines directly.
+// Everything else fans out through the internal/parallel pool, whose
+// index-claiming loop keeps results bitwise deterministic and whose
+// panic re-raise keeps the serve pool's recover semantics intact.
+// Matched by import-path base so fixture packages participate.
+var goroutinePkgs = map[string]bool{
+	"parallel":   true,
+	"serve":      true,
+	"resilience": true,
+}
+
+// Poolmisuse enforces the two concurrency rules from
+// internal/parallel/doc.go: goroutines are launched only inside the
+// dedicated concurrency packages (internal/parallel, internal/serve,
+// internal/resilience) — numeric code fans out via parallel.For — and
+// slices a parallel.For worker fills are not consumed between the For
+// call and the parallel.FirstError check, where they may hold partial
+// results from a failed run.
+var Poolmisuse = &Analyzer{
+	Name: "poolmisuse",
+	Doc: "forbid go statements outside internal/parallel, internal/serve and " +
+		"internal/resilience, and forbid consuming parallel.For result slices " +
+		"before the parallel.FirstError check (see internal/parallel/doc.go)",
+	Run: runPoolmisuse,
+}
+
+func runPoolmisuse(p *Pass) {
+	base := pathBase(p.Path)
+	for _, f := range p.Files {
+		if !goroutinePkgs[base] {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(g.Pos(),
+						"goroutine launched outside internal/parallel, internal/serve and internal/resilience: numeric fan-out goes through parallel.For so results stay deterministic and panics are contained (see internal/parallel/doc.go)")
+				}
+				return true
+			})
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolConsumption(p, fd.Body)
+			}
+		}
+	}
+}
+
+// checkPoolConsumption analyzes one function-body scope. Nested
+// function literals form their own scopes and are recursed into; the
+// scan of the current scope does not descend into them, so a use inside
+// a worker closure is attributed to the closure's own scope.
+func checkPoolConsumption(p *Pass, body *ast.BlockStmt) {
+	type forCall struct {
+		call    *ast.CallExpr
+		written map[types.Object]bool
+	}
+	var fors []forCall
+	var firstErrs []*ast.CallExpr
+
+	inspectScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		switch {
+		case calleeFrom(p.Info, call, "parallel", "For"):
+			if len(call.Args) > 0 {
+				if lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit); ok {
+					fors = append(fors, forCall{call: call, written: capturedWrites(p, lit)})
+				}
+			}
+		case calleeFrom(p.Info, call, "parallel", "FirstError"):
+			firstErrs = append(firstErrs, call)
+		}
+	})
+
+	// Recurse into nested scopes regardless of what this scope holds.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkPoolConsumption(p, lit.Body)
+			return false
+		}
+		return true
+	})
+
+	for _, fc := range fors {
+		if len(fc.written) == 0 {
+			continue
+		}
+		// The error check the results must wait for: the first
+		// parallel.FirstError call after this For in the same scope.
+		var errCheck *ast.CallExpr
+		for _, fe := range firstErrs {
+			if fe.Pos() > fc.call.End() && (errCheck == nil || fe.Pos() < errCheck.Pos()) {
+				errCheck = fe
+			}
+		}
+		if errCheck == nil {
+			continue
+		}
+		lo, hi := fc.call.End(), errCheck.Pos()
+		inspectScope(body, func(n ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Pos() <= lo || id.End() >= hi {
+				return
+			}
+			if obj := p.Info.Uses[id]; obj != nil && fc.written[obj] {
+				p.Reportf(id.Pos(),
+					"%s is consumed before the parallel.FirstError check: on a failed run the pool leaves partial results in it; check the error first (see internal/parallel/doc.go)", id.Name)
+			}
+		})
+	}
+}
+
+// inspectScope walks the statements of one function-body scope without
+// descending into nested function literals.
+func inspectScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// capturedWrites collects the variables declared outside lit that the
+// worker body writes element-wise (out[i] = ..., errs[i] = ...): the
+// result slots of a parallel.For fan-out.
+func capturedWrites(p *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	written := make(map[types.Object]bool)
+	record := func(lhs ast.Expr) {
+		if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); !ok {
+			return
+		}
+		root, _ := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := p.Info.Uses[root]
+		if obj == nil || !obj.Pos().IsValid() || obj.Pos() >= lit.Pos() {
+			return
+		}
+		written[obj] = true
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		}
+		return true
+	})
+	return written
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoClean runs the full analyzer suite over the real tree, the
+// same gate CI's lint job applies. Keeping it in tier-1 means a PR that
+// introduces a violation fails `go test ./...`, not just the lint job.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
+	}
+	findings := RunAnalyzers(pkgs, All())
+	for _, f := range Active(findings) {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+	// Every surviving suppression must carry its justification; the
+	// directive checker enforces this at lint time, assert it end to end.
+	for _, f := range findings {
+		if f.Suppressed && strings.TrimSpace(f.Reason) == "" {
+			t.Errorf("suppressed finding without reason: %s", f)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package detector is an mfodlint fixture for the mutafterfit
+// analyzer: Score*/Transform* methods must not assign to receiver
+// state, the read-only-after-Fit contract that makes concurrent
+// scoring race-free.
+package detector
+
+// Model mimics a fitted detector.
+type Model struct {
+	weights []float64
+	memo    map[string]float64
+	calls   int
+	stats   counters
+}
+
+type counters struct{ scores int }
+
+// Fit may mutate freely: the contract begins after fitting.
+func (m *Model) Fit(xs []float64) {
+	m.weights = append(m.weights[:0], xs...)
+	m.memo = make(map[string]float64)
+	m.calls = 0
+}
+
+// Score violates the contract four ways: counter increment, slice
+// element write, map element write, nested-struct field write.
+func (m *Model) Score(x float64) float64 {
+	m.calls++                           // want "writes receiver state"
+	m.weights[0] = x                    // want "writes receiver state"
+	m.memo["last"] = x                  // want "writes receiver state"
+	m.stats.scores = m.stats.scores + 1 // want "writes receiver state"
+	sum := 0.0
+	for _, w := range m.weights { // reads are fine
+		sum += w * x
+	}
+	return sum
+}
+
+// ScoreBatch only writes locals: clean.
+func (m *Model) ScoreBatch(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * float64(m.calls)
+	}
+	return out
+}
+
+// Transform overwrites the pointee wholesale.
+func (m *Model) Transform(xs []float64) []float64 {
+	*m = Model{} // want "writes receiver state"
+	return xs
+}
+
+// ScoreShadow rebinds the name m to a local inside a nested block:
+// writes to the local are not receiver writes, which the type-resolved
+// check must see through.
+func (m *Model) ScoreShadow(x float64) float64 {
+	{
+		m := Model{}
+		m.calls = 1
+		x *= float64(m.calls)
+	}
+	return x
+}
+
+// ScoreMemo documents an intentionally tolerated write.
+func (m *Model) ScoreMemo(x float64) float64 {
+	m.memo["memo"] = x //mfodlint:allow mutafterfit fixture stand-in for a mutex-guarded memo write
+	return x
+}
+
+// Reset is not a Score*/Transform* method: out of contract.
+func (m *Model) Reset() { m.calls = 0 }

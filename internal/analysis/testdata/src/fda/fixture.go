@@ -1,0 +1,61 @@
+// Package fda is an mfodlint fixture: its base name places it on the
+// deterministic score path, so the nodeterminism analyzer applies.
+// Trailing `// want "substr"` comments are assertions consumed by the
+// fixture harness in fixtures_test.go.
+package fda
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock draws from the wall clock on the score path.
+func Clock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// GlobalRand draws from the process-global, scheduling-dependent source.
+func GlobalRand() float64 {
+	return rand.Float64() // want "global math/rand"
+}
+
+// GlobalShuffle also hits the global source, through a helper with args.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand"
+}
+
+// Seeded uses the sanctioned explicit-seed constructor and draws from
+// the returned stream: no findings.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// MapOrder builds its result in map-iteration order, which Go
+// randomizes per run.
+func MapOrder(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "map range"
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedKeys collects keys and then sorts, so the output is
+// deterministic despite the map range: the canonical use of the allow
+// directive, with the sort named in the reason.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	//mfodlint:allow nodeterminism keys are sorted immediately below, so output order is deterministic
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Allowed reads the clock under a justified trailing directive.
+func Allowed() int64 {
+	return time.Now().Unix() //mfodlint:allow nodeterminism wall clock feeds a log line in this fixture, not a score
+}

@@ -1,0 +1,52 @@
+// Package floatpkg is an mfodlint fixture for the floateq analyzer:
+// exact float comparisons are findings unless they fall under one of
+// the documented exemptions (literal zero, math.Inf/math.NaN, the
+// x != x NaN idiom, constant folding) or carry an allow directive.
+package floatpkg
+
+import "math"
+
+// Eq is the plain violation.
+func Eq(a, b float64) bool {
+	return a == b // want "float operands"
+}
+
+// Neq32 violates on float32 too.
+func Neq32(a, b float32) bool {
+	return a != b // want "float operands"
+}
+
+// NonZeroConst compares against a nonzero literal: still a violation.
+func NonZeroConst(a float64) bool {
+	return a == 1.5 // want "float operands"
+}
+
+// Zero guards against exact zero: exempt.
+func Zero(a float64) bool {
+	return a == 0
+}
+
+// ZeroLeft is the same guard with the literal on the left: exempt.
+func ZeroLeft(a float64) bool {
+	return 0.0 != a
+}
+
+// Inf tests against an explicit infinity: exempt.
+func Inf(a float64) bool {
+	return a == math.Inf(1)
+}
+
+// NaNIdiom is the portable NaN test: exempt.
+func NaNIdiom(a float64) bool {
+	return a != a
+}
+
+// ConstFolded has no runtime operand: exempt.
+func ConstFolded() bool {
+	return 1.5 == 3.0/2.0
+}
+
+// Allowed documents an intentional exact comparison.
+func Allowed(a, b float64) bool {
+	return a == b //mfodlint:allow floateq bit-identical golden comparison intended in this fixture
+}

@@ -1,0 +1,20 @@
+// Package other is an mfodlint fixture whose base name is outside the
+// deterministic score-path set: the nodeterminism analyzer must stay
+// silent here even though the body reads the wall clock and the global
+// rand source.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: legal off the score path.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the global source: legal off the score path.
+func Jitter() float64 {
+	return rand.Float64()
+}

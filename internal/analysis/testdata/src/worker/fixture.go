@@ -1,0 +1,62 @@
+// Package worker is an mfodlint fixture for the poolmisuse analyzer:
+// goroutine launches outside the sanctioned concurrency packages, and
+// parallel.For result slices consumed before the parallel.FirstError
+// check.
+package worker
+
+import "repro/internal/parallel"
+
+// Raw launches a goroutine by hand in a numeric package.
+func Raw(n int) int {
+	done := make(chan int)
+	go func() { done <- n }() // want "goroutine launched outside"
+	return <-done
+}
+
+// Early reads a pool-written slice before checking the pool error: on a
+// failed run out[0] may be a partial result.
+func Early(xs []float64) (float64, error) {
+	out := make([]float64, len(xs))
+	errs := make([]error, len(xs))
+	parallel.For(len(xs), 0, func(_, i int) {
+		out[i] = xs[i] * 2
+		errs[i] = nil
+	})
+	first := out[0] // want "consumed before the parallel.FirstError check"
+	if err := parallel.FirstError(errs); err != nil {
+		return 0, err
+	}
+	return first, nil
+}
+
+// Clean is the sanctioned pattern: error check first, results after.
+func Clean(xs []float64) (float64, error) {
+	out := make([]float64, len(xs))
+	errs := make([]error, len(xs))
+	parallel.For(len(xs), 0, func(_, i int) {
+		out[i] = xs[i] * 2
+		errs[i] = nil
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// NoErrs fans out without an error slice at all (pure writes): reading
+// results immediately is fine, there is no error return to wait for.
+func NoErrs(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	parallel.For(len(xs), 0, func(_, i int) {
+		out[i] = xs[i] * 2
+	})
+	return out[0]
+}
+
+// AllowedGo documents a tolerated lifecycle goroutine.
+func AllowedGo(n int) int {
+	done := make(chan int)
+	//mfodlint:allow poolmisuse fixture lifecycle goroutine, joined via the done channel on the next line
+	go func() { done <- n }()
+	return <-done
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// pathBase returns the last element of an import path, the unit the
+// package-scoped analyzers match on ("repro/internal/fda" -> "fda").
+func pathBase(importPath string) string {
+	return path.Base(importPath)
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a declared function (conversion,
+// builtin, function-typed variable).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeFrom reports whether call invokes the package-level function
+// pkgSuffix.name, matching the callee's package by import-path suffix
+// so both the real tree ("repro/internal/parallel") and fixtures match.
+func calleeFrom(info *types.Info, call *ast.CallExpr, pkgSuffix, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// rootIdent unwraps selector / index / star / paren chains down to the
+// base identifier and reports how many layers were unwrapped.
+// "m.cache[k]" -> (m, 2); "x" -> (x, 0); "(*f).n" -> (f, 2).
+func rootIdent(e ast.Expr) (*ast.Ident, int) {
+	depth := 0
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, depth
+		case *ast.SelectorExpr:
+			e = x.X
+			depth++
+		case *ast.IndexExpr:
+			e = x.X
+			depth++
+		case *ast.StarExpr:
+			e = x.X
+			depth++
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, depth
+		}
+	}
+}

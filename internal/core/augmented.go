@@ -30,7 +30,7 @@ func (m DerivAugmentedDepthMethod) Name() string { return m.MethodName }
 // Run implements eval.Method.
 func (m DerivAugmentedDepthMethod) Run(train, test fda.Dataset, seed int64) ([]float64, error) {
 	opt := m.Smooth
-	if opt.Lo == opt.Hi {
+	if !opt.HasDomain() {
 		opt.Lo, opt.Hi = train.Domain()
 	}
 	augTrain, err := fda.AugmentWithDerivatives(train, opt, m.Orders)

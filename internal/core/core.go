@@ -163,7 +163,7 @@ func (p *Pipeline) features(d fda.Dataset) ([][]float64, error) {
 // the fitted grid domain, the pipeline worker pool and the shared cache.
 func (p *Pipeline) smoothOptions() fda.Options {
 	opt := p.Smooth
-	if opt.Lo == opt.Hi {
+	if !opt.HasDomain() {
 		opt.Lo, opt.Hi = p.gridLo, p.gridHi
 	}
 	opt.Parallel = p.Parallel

@@ -93,6 +93,7 @@ func commonGrid(train, test fda.Dataset) []float64 {
 				return
 			}
 			for j, t := range s.Times {
+				//mfodlint:allow floateq grid-identity test: the shared-design fast path requires bitwise-equal time grids; near-equal grids must take the general path
 				if t != ref[j] {
 					same = false
 					return
@@ -177,6 +178,7 @@ func RankNormalize(scores []float64) []float64 {
 	quickSortByScore(idx, scores)
 	for i := 0; i < n; {
 		j := i
+		//mfodlint:allow floateq tie-group detection over one computed slice: ties are exact duplicates; a tolerance would merge near-ties and shift midranks
 		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
 			j++
 		}

@@ -32,6 +32,7 @@ func AveragePrecision(scores []float64, labels []int) (float64, error) {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
+		//mfodlint:allow floateq sort tie-break over one computed slice: ties are exact duplicates; tolerance ordering is not a strict weak order
 		if scores[idx[a]] != scores[idx[b]] {
 			return scores[idx[a]] > scores[idx[b]]
 		}
@@ -68,6 +69,7 @@ func PrecisionAtK(scores []float64, labels []int, k int) (float64, error) {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
+		//mfodlint:allow floateq sort tie-break over one computed slice: ties are exact duplicates; tolerance ordering is not a strict weak order
 		if scores[idx[a]] != scores[idx[b]] {
 			return scores[idx[a]] > scores[idx[b]]
 		}

@@ -50,6 +50,7 @@ func AUC(scores []float64, labels []int) (float64, error) {
 	var rankSumPos float64
 	for i := 0; i < len(idx); {
 		j := i
+		//mfodlint:allow floateq tie-group detection over one computed slice: ties are exact duplicates; a tolerance would merge near-ties
 		for j+1 < len(idx) && scores[idx[j+1]] == scores[idx[i]] {
 			j++
 		}
@@ -99,6 +100,7 @@ func ROC(scores []float64, labels []int) ([]ROCPoint, error) {
 	var tp, fp int
 	for i := 0; i < len(idx); {
 		j := i
+		//mfodlint:allow floateq tie-group detection over one computed slice: ties are exact duplicates; a tolerance would merge near-ties
 		for j+1 < len(idx) && scores[idx[j+1]] == scores[idx[i]] {
 			j++
 		}

@@ -3,11 +3,10 @@ package eval
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/fda"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -76,106 +75,73 @@ func RunExperiment(d fda.Dataset, methods []Method, conds []Condition, opt Exper
 	if reps <= 0 {
 		reps = 50
 	}
-	workers := opt.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
+	// One job per (condition, repetition), condition-major so the result
+	// block of condition ci is jobs[ci*reps : (ci+1)*reps]. Jobs run on
+	// the shared bounded pool and write back by index, so the run is
+	// reproducible for every worker count; errors surface in the same
+	// order a sequential loop would report them.
 	type job struct {
 		cond Condition
 		rep  int
 	}
-	type result struct {
-		cond Condition
-		rep  int
-		auc  map[string]float64
-		err  error
-	}
-	jobs := make(chan job)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				res := result{cond: jb.cond, rep: jb.rep, auc: make(map[string]float64, len(methods))}
-				// Derive a reproducible seed from (condition, repetition).
-				stream := jb.rep*10007 + int(jb.cond.Contamination*1000)
-				rng := stats.NewRand(opt.Seed, stream)
-				sp, err := MakeSplit(d.Labels, jb.cond.TrainSize, jb.cond.Contamination, rng)
-				if err != nil {
-					res.err = fmt.Errorf("eval: c=%.2f rep %d: %w", jb.cond.Contamination, jb.rep, err)
-					results <- res
-					continue
-				}
-				train, test := sp.Apply(d)
-				for _, m := range methods {
-					scores, err := m.Run(train, test, stats.SplitSeed(opt.Seed, stream))
-					if err != nil {
-						res.err = fmt.Errorf("eval: %s c=%.2f rep %d: %w", m.Name(), jb.cond.Contamination, jb.rep, err)
-						break
-					}
-					auc, err := AUC(scores, test.Labels)
-					if err != nil {
-						res.err = fmt.Errorf("eval: %s c=%.2f rep %d: %w", m.Name(), jb.cond.Contamination, jb.rep, err)
-						break
-					}
-					res.auc[m.Name()] = auc
-				}
-				results <- res
-			}
-		}()
-	}
-	go func() {
-		for _, cond := range conds {
-			for r := 0; r < reps; r++ {
-				jobs <- job{cond: cond, rep: r}
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	type key struct {
-		method string
-		c      float64
-		size   int
-	}
-	collected := make(map[key][]float64)
-	var firstErr error
-	for res := range results {
-		if res.err != nil {
-			if firstErr == nil {
-				firstErr = res.err
-			}
-			continue
-		}
-		for name, auc := range res.auc {
-			k := key{name, res.cond.Contamination, res.cond.TrainSize}
-			collected[k] = append(collected[k], auc)
+	jobs := make([]job, 0, len(conds)*reps)
+	for _, cond := range conds {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, job{cond: cond, rep: r})
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	aucs := make([]map[string]float64, len(jobs))
+	errs := make([]error, len(jobs))
+	parallel.For(len(jobs), opt.Parallel, func(_, i int) {
+		jb := jobs[i]
+		// Derive a reproducible seed from (condition, repetition).
+		stream := jb.rep*10007 + int(jb.cond.Contamination*1000)
+		rng := stats.NewRand(opt.Seed, stream)
+		sp, err := MakeSplit(d.Labels, jb.cond.TrainSize, jb.cond.Contamination, rng)
+		if err != nil {
+			errs[i] = fmt.Errorf("eval: c=%.2f rep %d: %w", jb.cond.Contamination, jb.rep, err)
+			return
+		}
+		train, test := sp.Apply(d)
+		auc := make(map[string]float64, len(methods))
+		for _, m := range methods {
+			scores, err := m.Run(train, test, stats.SplitSeed(opt.Seed, stream))
+			if err != nil {
+				errs[i] = fmt.Errorf("eval: %s c=%.2f rep %d: %w", m.Name(), jb.cond.Contamination, jb.rep, err)
+				return
+			}
+			a, err := AUC(scores, test.Labels)
+			if err != nil {
+				errs[i] = fmt.Errorf("eval: %s c=%.2f rep %d: %w", m.Name(), jb.cond.Contamination, jb.rep, err)
+				return
+			}
+			auc[m.Name()] = a
+		}
+		aucs[i] = auc
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	var out []Summary
-	for _, cond := range conds {
+	for ci, cond := range conds {
 		for _, m := range methods {
-			k := key{m.Name(), cond.Contamination, cond.TrainSize}
-			aucs := collected[k]
-			sort.Float64s(aucs)
+			vals := make([]float64, 0, reps)
+			for r := 0; r < reps; r++ {
+				if v, ok := aucs[ci*reps+r][m.Name()]; ok {
+					vals = append(vals, v)
+				}
+			}
+			sort.Float64s(vals)
 			s := Summary{
 				Method:        m.Name(),
 				Contamination: cond.Contamination,
 				TrainSize:     cond.TrainSize,
-				AUCs:          aucs,
+				AUCs:          vals,
 			}
-			if len(aucs) > 0 {
-				s.MeanAUC = stats.Mean(aucs)
-				if len(aucs) > 1 {
-					s.StdAUC = stats.StdDev(aucs)
+			if len(vals) > 0 {
+				s.MeanAUC = stats.Mean(vals)
+				if len(vals) > 1 {
+					s.StdAUC = stats.StdDev(vals)
 				}
 			} else {
 				s.MeanAUC = math.NaN()

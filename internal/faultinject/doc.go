@@ -1,0 +1,41 @@
+// Package faultinject is a deterministic fault-injection registry: the
+// chaos-testing harness of the serving stack. Production code declares
+// named fault points by calling Hit at the places where the system is
+// allowed to fail — the registry reload path, the worker pool, pipeline
+// scoring — and tests (or an operator, via MFOD_FAULTS) arm those points
+// with errors, panics or latency. The package is compiled in but inert:
+// with nothing armed, Hit is a single atomic load and no allocation, so
+// fault points may sit on hot paths.
+//
+// Triggers are deterministic by design. A fault fires on an exact hit
+// window (SkipFirst/Times) or on a fraction of hits drawn from a seeded
+// source (Probability/Seed), so a chaos test that arms a point sees the
+// same failure sequence on every run.
+//
+// # The determinism contract (enforced by mfodlint)
+//
+// Seeded triggers, the golden-score suite (testdata/golden_scores.json,
+// compared at 1e-12) and cross-run reproduction of the paper's figures
+// all assume the same premise: given the same inputs and seeds, the
+// score path produces bit-identical results on every run. The repo's
+// static-analysis suite (internal/analysis, run by `make lint` and CI)
+// keeps that premise true as the code grows; its nodeterminism
+// diagnostics point here. On the deterministic score-path packages
+// (fda, bspline, geometry, depth, iforest, lof, ocsvm, linalg, stats,
+// core):
+//
+//   - no wall-clock reads (time.Now) — values derive from inputs or
+//     seeds, never from when the code happens to run;
+//   - no draws from the global math/rand source — randomness flows
+//     through explicitly seeded streams (stats.NewRand / rand.New),
+//     which make stochastic detectors like the isolation forest
+//     reproducible;
+//   - no result construction inside a map range — Go randomizes map
+//     iteration order per run, so element order must come from sorted
+//     keys or index spaces instead.
+//
+// Float comparisons on those paths use tolerances, never == (floateq;
+// DESIGN.md sets the 1e-12 convention), because exact equality is
+// order-of-evaluation dependent even when the computation is
+// deterministic.
+package faultinject

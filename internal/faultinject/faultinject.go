@@ -1,16 +1,3 @@
-// Package faultinject is a deterministic fault-injection registry: the
-// chaos-testing harness of the serving stack. Production code declares
-// named fault points by calling Hit at the places where the system is
-// allowed to fail — the registry reload path, the worker pool, pipeline
-// scoring — and tests (or an operator, via MFOD_FAULTS) arm those points
-// with errors, panics or latency. The package is compiled in but inert:
-// with nothing armed, Hit is a single atomic load and no allocation, so
-// fault points may sit on hot paths.
-//
-// Triggers are deterministic by design. A fault fires on an exact hit
-// window (SkipFirst/Times) or on a fraction of hits drawn from a seeded
-// source (Probability/Seed), so a chaos test that arms a point sees the
-// same failure sequence on every run.
 package faultinject
 
 import (

@@ -24,7 +24,7 @@ func AugmentWithDerivatives(d Dataset, opt Options, orders []int) (Dataset, erro
 			return Dataset{}, fmt.Errorf("fda: derivative order %d < 1: %w", q, ErrData)
 		}
 	}
-	if opt.Lo == opt.Hi {
+	if !opt.HasDomain() {
 		opt.Lo, opt.Hi = d.Domain()
 	}
 	out := Dataset{Samples: make([]Sample, d.Len()), Labels: d.Labels}

@@ -60,6 +60,14 @@ type Options struct {
 	NoCache bool
 }
 
+// HasDomain reports whether the smoothing domain was fixed explicitly.
+// The zero value (Lo == Hi, not necessarily zero) means "use the data's
+// own range"; the exact comparison is the sentinel test for that
+// configuration state, not a numeric tolerance decision.
+func (o Options) HasDomain() bool {
+	return o.Lo != o.Hi //mfodlint:allow floateq Lo == Hi is the documented unset-domain sentinel; the exact test is the point
+}
+
 // Criterion is the model-selection score minimised over candidate basis
 // sizes and penalties.
 type Criterion int
@@ -250,7 +258,7 @@ func FitCurve(ts, ys []float64, opt Options) (*CurveFit, error) {
 		return nil, fmt.Errorf("fda: need at least 2 points, got %d: %w", len(ts), ErrData)
 	}
 	lo, hi := opt.Lo, opt.Hi
-	if lo == hi {
+	if !opt.HasDomain() {
 		lo, hi = ts[0], ts[len(ts)-1]
 	}
 	if !(lo < hi) {
@@ -421,7 +429,7 @@ func FitDataset(d Dataset, opt Options) ([]*Fit, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	if opt.Lo == opt.Hi {
+	if !opt.HasDomain() {
 		opt.Lo, opt.Hi = d.Domain()
 	}
 	if opt.Cache == nil && !opt.NoCache && opt.Basis == nil {

@@ -1,0 +1,34 @@
+// Package parallel provides the bounded fan-out primitive shared by the
+// numeric hot paths (internal/fda smoothing, internal/geometry mapping,
+// the detector score loops). It is a lighter sibling of the
+// internal/serve worker pool: the same bounded-workers idea, but for
+// finite index spaces where results are written back by index, so the
+// output is bitwise identical regardless of worker count or scheduling.
+//
+// # Invariants (enforced by mfodlint)
+//
+// The repo's static-analysis suite (internal/analysis, run by `make
+// lint` and CI) checks the contracts this package's callers rely on;
+// its diagnostics point here.
+//
+//   - Goroutines are launched only inside internal/parallel,
+//     internal/serve and internal/resilience (poolmisuse). Numeric code
+//     fans out through For, which claims indices from a shared atomic
+//     counter, re-raises worker panics on the calling goroutine, and
+//     writes results only by index — hand-rolled goroutines would
+//     reintroduce scheduling-dependent output and uncontained panics.
+//
+//   - Slices filled by a For worker are not consumed between the For
+//     call and the FirstError check (poolmisuse). On a failed run the
+//     result slice holds partial values for the indices that errored;
+//     the error must be observed before any result is.
+//
+//   - Score* and Transform* methods on fitted models are read-only
+//     (mutafterfit). For runs one fitted model from many goroutines at
+//     once with no locks; that is only sound because scoring never
+//     writes receiver state after Fit.
+//
+// FirstError returns the lowest-index non-nil error, matching the error
+// a sequential loop over the same work would have surfaced first — the
+// determinism contract of the fan-out call sites.
+package parallel

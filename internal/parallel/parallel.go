@@ -1,9 +1,3 @@
-// Package parallel provides the bounded fan-out primitive shared by the
-// numeric hot paths (internal/fda smoothing, internal/geometry mapping,
-// the detector score loops). It is a lighter sibling of the
-// internal/serve worker pool: the same bounded-workers idea, but for
-// finite index spaces where results are written back by index, so the
-// output is bitwise identical regardless of worker count or scheduling.
 package parallel
 
 import (

@@ -146,6 +146,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//mfodlint:allow floateq tie-group detection over one computed slice: ties are exact duplicates; a tolerance would merge near-ties
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}
