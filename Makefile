@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test test-race test-chaos bench bench-hotpath fuzz check
+.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve fuzz check
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,13 @@ test:
 	$(GO) test ./...
 
 # The race suite focuses on the concurrent paths: the serving subsystem,
-# the shared-pipeline scoring guarantee, the server binary, the
+# the gateway tier (hedged legs, topology watcher, health prober), the
+# shared-pipeline scoring guarantee, the server binary, the
 # smoothing/mapping hot path (worker pool + shared basis cache), and the
 # analyzer suite (whose repo-clean test loads and checks the whole tree).
 test-race:
-	$(GO) test -race ./internal/serve ./internal/core ./cmd/mfodserve \
+	$(GO) test -race ./internal/serve ./internal/gate ./internal/resilience \
+		./internal/core ./cmd/mfodserve ./cmd/mfodgate \
 		./internal/fda ./internal/geometry ./internal/parallel \
 		./internal/analysis
 
@@ -45,6 +47,14 @@ bench:
 # pool + basis cache); fails below a 2x speedup. CI archives the report.
 bench-hotpath:
 	$(GO) run ./cmd/mfodbench -bench -bench-out BENCH_hotpath.json -bench-min-speedup 2
+
+# Serving-tier benchmark: mfodload boots 3 in-process mfodserve replicas
+# plus an mfodgate over them and drives binary-wire scoring load, writing
+# p50/p99/p999 latency, achieved RPS, the error budget and the
+# wire-vs-JSON bytes-per-request comparison to BENCH_serve.json. Fails on
+# any client-visible error. CI archives the report.
+bench-serve:
+	$(GO) run ./cmd/mfodload -self 3 -rps 150 -duration 10s -o BENCH_serve.json
 
 # 30-second fuzz smoke on the B-spline evaluator (knot-boundary and
 # derivative edge cases); the corpus lives in internal/bspline/testdata.

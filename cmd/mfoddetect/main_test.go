@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -191,6 +192,63 @@ func TestRunRemoteBreakerOpens(t *testing.T) {
 	}
 	if got := calls.Load(); got != 2 {
 		t.Fatalf("server saw %d requests, want 2 (breaker cut the rest)", got)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run under capture: %v", runErr)
+	}
+	return string(out)
+}
+
+// TestRunRemoteBothEncodings scores the same curves over JSON and over
+// the binary wire codec and requires the printed reports — scores, AUC,
+// ranking — to match byte for byte: the codec must be invisible.
+func TestRunRemoteBothEncodings(t *testing.T) {
+	in := writeTestCSV(t, 20, 8)
+	url, calls := remoteServer(t, in, 0, 0)
+	base := options{
+		in:             in,
+		remote:         url,
+		remoteModel:    "ecg",
+		remoteAttempts: 2,
+		remoteBackoff:  time.Millisecond,
+		remoteBreaker:  5,
+		remoteTimeout:  10 * time.Second,
+		top:            5,
+		seed:           1,
+	}
+	asJSON := base
+	viaJSON := captureStdout(t, func() error { return run(asJSON) })
+	asWire := base
+	asWire.remoteWire = true
+	viaWire := captureStdout(t, func() error { return run(asWire) })
+	if viaJSON != viaWire {
+		t.Fatalf("codec changed the output:\njson:\n%s\nwire:\n%s", viaJSON, viaWire)
+	}
+	if !strings.Contains(viaWire, "AUC") {
+		t.Fatalf("no AUC footer in remote output:\n%s", viaWire)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
 	}
 }
 

@@ -1,0 +1,176 @@
+// Command mfodgate is the scale-out front tier for a fleet of mfodserve
+// replicas: it consistent-hash-shards model names across the replicas of
+// a JSON topology file, hot-reloads that file on change, health-checks
+// every replica actively, and answers each scoring request through a
+// hedged race between a model's primary replica and its ring successor.
+// Upstream traffic rides the binary wire codec (internal/wire) by
+// default, whatever the client spoke — see the "Scaling out" section of
+// README.md for the walkthrough.
+//
+// Usage:
+//
+//	mfodgate -topology topology.json [-addr :9090]
+//	         [-hedge 50ms] [-timeout 30s] [-watch 1s]
+//	         [-health-interval 2s] [-health-threshold 2]
+//	         [-attempts 2] [-breaker-threshold 5] [-breaker-cooldown 1s]
+//	         [-max-body 33554432] [-json-upstream] [-quiet]
+//
+// Endpoints (a drop-in superset of one replica's surface):
+//
+//	POST /v1/models/{name}:score   hedged, sharded scoring
+//	POST /v1/models/{name}:reload  broadcast reload to every replica
+//	GET  /v1/models                proxied model listing
+//	GET  /v1/topology              fleet, health and routing view
+//	GET  /healthz, /readyz         liveness / readiness
+//	GET  /metrics                  Prometheus text metrics
+//
+// On SIGINT/SIGTERM the gate drains gracefully: readiness flips to 503,
+// in-flight hedges finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/gate"
+)
+
+// gateOptions collects every flag plus the test-only ready channel, so
+// tests can drive the binary without a process boundary.
+type gateOptions struct {
+	addr             string
+	topology         string
+	hedge            time.Duration
+	timeout          time.Duration
+	watch            time.Duration
+	healthInterval   time.Duration
+	healthThreshold  int
+	attempts         int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	maxBody          int64
+	jsonUpstream     bool
+	quiet            bool
+	faults           string        // MFOD_FAULTS spec, armed before serving
+	ready            chan<- string // tests only: receives the bound address
+}
+
+func main() {
+	o := gateOptions{faults: os.Getenv("MFOD_FAULTS")}
+	flag.StringVar(&o.addr, "addr", ":9090", "listen address")
+	flag.StringVar(&o.topology, "topology", "", "replica topology file (JSON), hot-reloaded on change")
+	flag.DurationVar(&o.hedge, "hedge", 50*time.Millisecond, "silence before the secondary replica is raced")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline (exceeded => 504)")
+	flag.DurationVar(&o.watch, "watch", time.Second, "topology file poll interval")
+	flag.DurationVar(&o.healthInterval, "health-interval", 2*time.Second, "replica health-probe interval")
+	flag.IntVar(&o.healthThreshold, "health-threshold", 2, "consecutive probe failures that mark a replica down")
+	flag.IntVar(&o.attempts, "attempts", 2, "per-leg upstream attempts (retry stays shallow; the hedge owns availability)")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive leg failures that open a replica's circuit")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", time.Second, "open-circuit probe interval")
+	flag.Int64Var(&o.maxBody, "max-body", 0, "request-body byte cap, exceeded => JSON 413 (0 = 32 MiB)")
+	flag.BoolVar(&o.jsonUpstream, "json-upstream", false, "forward JSON bodies as-is instead of transcoding to the binary wire codec")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress request logging")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "mfodgate:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires the table, watcher, health prober and gate, then blocks
+// until a signal or a listener error.
+func run(o gateOptions) error {
+	if o.topology == "" {
+		return errors.New("-topology file is required")
+	}
+	if o.faults != "" {
+		if err := faultinject.ArmFromEnv(o.faults); err != nil {
+			return err
+		}
+	}
+	var logOut io.Writer = os.Stderr
+	if o.quiet {
+		logOut = io.Discard
+	}
+	logger := slog.New(slog.NewTextHandler(logOut, nil))
+	if armed := faultinject.Armed(); len(armed) > 0 {
+		logger.Warn("fault injection armed", "points", armed)
+	}
+
+	table, err := gate.LoadTable(o.topology)
+	if err != nil {
+		return err
+	}
+	metrics := gate.NewMetrics()
+	stop := make(chan struct{})
+	defer close(stop)
+	table.Watch(o.watch, stop, func(err error) {
+		logger.Error("topology reload failed, previous fleet keeps serving", "err", err)
+	})
+	health := &gate.Health{
+		Interval:  o.healthInterval,
+		Threshold: o.healthThreshold,
+		OnChange: func(replica string, up bool) {
+			logger.Info("replica health changed", "replica", replica, "up", up)
+		},
+	}
+	health.Run(table, stop)
+
+	g, err := gate.New(gate.Config{
+		Table:            table,
+		Health:           health,
+		Metrics:          metrics,
+		Logger:           logger,
+		HedgeDelay:       o.hedge,
+		Timeout:          o.timeout,
+		MaxBodyBytes:     o.maxBody,
+		Attempts:         o.attempts,
+		BreakerThreshold: o.breakerThreshold,
+		BreakerCooldown:  o.breakerCooldown,
+		JSONUpstream:     o.jsonUpstream,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: g.Handler()}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	logger.Info("gating", "addr", ln.Addr().String(), "topology", o.topology, "replicas", table.Replicas())
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
+	}
+	//mfodlint:allow poolmisuse server lifecycle goroutine, not numeric fan-out: the accept loop must run concurrently with signal handling and is joined via errc on shutdown
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Info("shutdown", "signal", sig.String())
+	}
+	g.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Error("shutdown", "err", err)
+	}
+	return nil
+}

@@ -1,0 +1,432 @@
+// Command mfodload replays scoring traffic against an mfodserve replica
+// or an mfodgate front tier at a target request rate and writes a
+// latency/throughput report (BENCH_serve.json): p50/p99/p999 latency,
+// achieved RPS and the error budget, plus the bytes-per-request cost of
+// the binary wire codec next to JSON for the same curves.
+//
+// Usage:
+//
+//	mfodload -url http://gate:9090 -model ecg -replay body.json
+//	         [-codec wire|json] [-rps 100] [-duration 10s]
+//	         [-concurrency 32] [-batch 4] [-o BENCH_serve.json]
+//
+//	mfodload -self 3 [-rps 100] [-duration 10s] ...
+//
+// -replay takes an `mfodgen -json` document (the mfodserve :score body
+// shape). -self N needs no running servers or replay file: it fits a
+// small pipeline, boots N in-process mfodserve replicas plus an mfodgate
+// over them, and load-tests that — the hermetic mode `make bench-serve`
+// and CI use.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fda"
+	"repro/internal/gate"
+	"repro/internal/geometry"
+	"repro/internal/iforest"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+type loadOptions struct {
+	url         string
+	selfFleet   int
+	model       string
+	replay      string
+	codec       string
+	rps         float64
+	duration    time.Duration
+	concurrency int
+	batch       int
+	out         string
+}
+
+func main() {
+	var o loadOptions
+	flag.StringVar(&o.url, "url", "", "target base URL (an mfodgate or mfodserve)")
+	flag.IntVar(&o.selfFleet, "self", 0, "boot N in-process replicas + gate and load-test those (no -url/-replay needed)")
+	flag.StringVar(&o.model, "model", "ecg", "model name to score against")
+	flag.StringVar(&o.replay, "replay", "", "mfodgen -json document to replay (required with -url)")
+	flag.StringVar(&o.codec, "codec", "wire", "request encoding: wire or json")
+	flag.Float64Var(&o.rps, "rps", 100, "target requests per second")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to drive load")
+	flag.IntVar(&o.concurrency, "concurrency", 32, "max in-flight requests; ticks beyond it are shed and reported")
+	flag.IntVar(&o.batch, "batch", 4, "curves per scoring request")
+	flag.StringVar(&o.out, "o", "BENCH_serve.json", "report path (- = stdout)")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "mfodload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the BENCH_serve.json document.
+type report struct {
+	Target      string  `json:"target"`
+	Model       string  `json:"model"`
+	Codec       string  `json:"codec"`
+	TargetRPS   float64 `json:"targetRps"`
+	DurationS   float64 `json:"durationS"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Shed        int     `json:"shed"`
+	ErrorRate   float64 `json:"errorRate"`
+	AchievedRPS float64 `json:"achievedRps"`
+	LatencyMs   struct {
+		P50  float64 `json:"p50"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"latencyMs"`
+	// BytesPerRequest reports the request-body size of the SAME curves
+	// under each codec, so the wire savings are part of every bench run.
+	BytesPerRequest map[string]int `json:"bytesPerRequest"`
+}
+
+func run(o loadOptions) error {
+	if o.codec != "wire" && o.codec != "json" {
+		return fmt.Errorf("bad -codec %q, want wire or json", o.codec)
+	}
+	if o.rps <= 0 || o.duration <= 0 || o.concurrency <= 0 || o.batch <= 0 {
+		return errors.New("-rps, -duration, -concurrency and -batch must be positive")
+	}
+
+	var d fda.Dataset
+	base := o.url
+	switch {
+	case o.selfFleet > 0:
+		var err error
+		base, d, err = bootSelfFleet(o.selfFleet, o.model)
+		if err != nil {
+			return err
+		}
+	case o.url != "":
+		if o.replay == "" {
+			return errors.New("-url needs -replay (an `mfodgen -json` document)")
+		}
+		raw, err := os.ReadFile(o.replay)
+		if err != nil {
+			return err
+		}
+		d, err = decodeReplay(raw)
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", o.replay, err)
+		}
+	default:
+		return errors.New("either -url or -self N is required")
+	}
+	if len(d.Samples) == 0 {
+		return errors.New("no curves to replay")
+	}
+
+	bodies, jsonBytes, wireBytes, err := buildBodies(d, o.batch, o.codec)
+	if err != nil {
+		return err
+	}
+	contentType := "application/json"
+	if o.codec == "wire" {
+		contentType = wire.ContentType
+	}
+
+	rep := drive(base, o, bodies, contentType)
+	rep.BytesPerRequest = map[string]int{"json": jsonBytes, "wire": wireBytes}
+
+	var w io.Writer = os.Stdout
+	if o.out != "-" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"mfodload: %d requests, %d errors, %d shed, %.1f rps achieved, p50=%.2fms p99=%.2fms p999=%.2fms\n",
+		rep.Requests, rep.Errors, rep.Shed, rep.AchievedRPS,
+		rep.LatencyMs.P50, rep.LatencyMs.P99, rep.LatencyMs.P999)
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d/%d requests failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+// decodeReplay reads an `mfodgen -json` document (the :score body shape).
+func decodeReplay(raw []byte) (fda.Dataset, error) {
+	var doc struct {
+		Samples []struct {
+			Times  []float64   `json:"times"`
+			Values [][]float64 `json:"values"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fda.Dataset{}, err
+	}
+	d := fda.Dataset{Samples: make([]fda.Sample, len(doc.Samples))}
+	for i, s := range doc.Samples {
+		d.Samples[i] = fda.Sample{Times: s.Times, Values: s.Values}
+	}
+	return d, nil
+}
+
+// buildBodies pre-encodes rotating windows of batch curves under the
+// chosen codec, and returns the average bytes-per-request of the same
+// windows under both codecs for the report.
+func buildBodies(d fda.Dataset, batch int, codec string) (bodies [][]byte, jsonAvg, wireAvg int, err error) {
+	n := len(d.Samples)
+	if batch > n {
+		batch = n
+	}
+	windows := n
+	if windows > 64 {
+		windows = 64 // bound pre-encoding work; rotation reuses them
+	}
+	var jsonTotal, wireTotal int
+	for w := 0; w < windows; w++ {
+		sub := fda.Dataset{Samples: make([]fda.Sample, 0, batch)}
+		for i := 0; i < batch; i++ {
+			sub.Samples = append(sub.Samples, d.Samples[(w+i)%n])
+		}
+		wb := wire.EncodeRequest(wire.Request{Dataset: sub})
+		type jsonSample struct {
+			Times  []float64   `json:"times"`
+			Values [][]float64 `json:"values"`
+		}
+		js := struct {
+			Samples []jsonSample `json:"samples"`
+		}{}
+		for _, s := range sub.Samples {
+			js.Samples = append(js.Samples, jsonSample{Times: s.Times, Values: s.Values})
+		}
+		jb, jerr := json.Marshal(js)
+		if jerr != nil {
+			return nil, 0, 0, jerr
+		}
+		jsonTotal += len(jb)
+		wireTotal += len(wb)
+		if codec == "wire" {
+			bodies = append(bodies, wb)
+		} else {
+			bodies = append(bodies, jb)
+		}
+	}
+	return bodies, jsonTotal / windows, wireTotal / windows, nil
+}
+
+// drive paces requests at the target rate with a bounded in-flight
+// window: a tick that finds every slot busy is shed (counted, not sent),
+// so a saturated server degrades the achieved rate instead of building
+// an unbounded goroutine backlog.
+func drive(base string, o loadOptions, bodies [][]byte, contentType string) report {
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds
+		errs      int
+		shed      int
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	target := base + "/v1/models/" + o.model + ":score"
+	sem := make(chan struct{}, o.concurrency)
+	var wg sync.WaitGroup
+
+	interval := time.Duration(float64(time.Second) / o.rps)
+	start := time.Now()
+	deadline := start.Add(o.duration)
+	for i, next := 0, start; next.Before(deadline); i, next = i+1, next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			body := bodies[i%len(bodies)]
+			//mfodlint:allow poolmisuse load-generator request goroutine: bounded by the concurrency semaphore and joined via the WaitGroup before the report is written
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				ok := postOnce(client, target, contentType, body)
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				latencies = append(latencies, ms)
+				if !ok {
+					errs++
+				}
+				mu.Unlock()
+			}()
+		default:
+			shed++
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Target:    base,
+		Model:     o.model,
+		Codec:     o.codec,
+		TargetRPS: o.rps,
+		DurationS: o.duration.Seconds(),
+		Requests:  len(latencies),
+		Errors:    errs,
+		Shed:      shed,
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(errs) / float64(rep.Requests)
+		rep.AchievedRPS = float64(rep.Requests) / elapsed.Seconds()
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.LatencyMs.P50 = percentile(latencies, 0.50)
+		rep.LatencyMs.P99 = percentile(latencies, 0.99)
+		rep.LatencyMs.P999 = percentile(latencies, 0.999)
+		rep.LatencyMs.Mean = sum / float64(rep.Requests)
+		rep.LatencyMs.Max = latencies[len(latencies)-1]
+	}
+	return rep
+}
+
+func postOnce(client *http.Client, url, contentType string, body []byte) bool {
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// percentile reads the p-quantile from sorted (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// bootSelfFleet fits a small pipeline, boots n in-process mfodserve
+// replicas holding it under the given model name, wires an mfodgate
+// over them, and returns the gate's base URL plus curves to replay.
+// The servers live for the process; mfodload exits when the run ends.
+func bootSelfFleet(n int, model string) (base string, d fda.Dataset, err error) {
+	d, err = dataset.ECGBivariate(dataset.ECGOptions{N: 40, Points: 60, Seed: 11})
+	if err != nil {
+		return "", fda.Dataset{}, err
+	}
+	p := &core.Pipeline{
+		Smooth:      fda.Options{Dims: []int{10}, Lambdas: []float64{1e-6}},
+		Mapping:     geometry.LogCurvature{},
+		Detector:    iforest.New(iforest.Options{Trees: 30, Seed: 11}),
+		Standardize: true,
+	}
+	if err := p.Fit(d); err != nil {
+		return "", fda.Dataset{}, err
+	}
+	dir, err := os.MkdirTemp("", "mfodload")
+	if err != nil {
+		return "", fda.Dataset{}, err
+	}
+	modelPath := filepath.Join(dir, "model.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		return "", fda.Dataset{}, err
+	}
+	if err := p.SaveJSON(f); err != nil {
+		f.Close()
+		return "", fda.Dataset{}, err
+	}
+	if err := f.Close(); err != nil {
+		return "", fda.Dataset{}, err
+	}
+
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	topo := gate.Topology{VNodes: 64}
+	for i := 0; i < n; i++ {
+		reg := serve.NewRegistry()
+		if err := reg.Load(model, modelPath); err != nil {
+			return "", fda.Dataset{}, err
+		}
+		pool := serve.NewPool(serve.PoolOptions{QueueCap: 256})
+		srv, err := serve.NewServer(serve.Config{Registry: reg, Pool: pool, Logger: quiet})
+		if err != nil {
+			return "", fda.Dataset{}, err
+		}
+		addr, err := serveOn(srv.Handler())
+		if err != nil {
+			return "", fda.Dataset{}, err
+		}
+		topo.Replicas = append(topo.Replicas, gate.Replica{
+			Name: fmt.Sprintf("self-%d", i),
+			URL:  "http://" + addr,
+		})
+	}
+	topoPath := filepath.Join(dir, "topology.json")
+	raw, err := json.Marshal(topo)
+	if err != nil {
+		return "", fda.Dataset{}, err
+	}
+	if err := os.WriteFile(topoPath, raw, 0o644); err != nil {
+		return "", fda.Dataset{}, err
+	}
+	table, err := gate.LoadTable(topoPath)
+	if err != nil {
+		return "", fda.Dataset{}, err
+	}
+	health := &gate.Health{Interval: 500 * time.Millisecond}
+	health.Run(table, make(chan struct{}))
+	g, err := gate.New(gate.Config{Table: table, Health: health, Logger: quiet})
+	if err != nil {
+		return "", fda.Dataset{}, err
+	}
+	addr, err := serveOn(g.Handler())
+	if err != nil {
+		return "", fda.Dataset{}, err
+	}
+	return "http://" + addr, d, nil
+}
+
+// serveOn binds a loopback listener and serves h on it for the life of
+// the process.
+func serveOn(h http.Handler) (addr string, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h, BaseContext: func(net.Listener) context.Context { return context.Background() }}
+	//mfodlint:allow poolmisuse self-fleet server goroutine: one accept loop per in-process replica of the hermetic bench mode, alive until the load run finishes and the process exits
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

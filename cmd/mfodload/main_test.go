@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunArgumentErrors(t *testing.T) {
+	if err := run(loadOptions{codec: "carrier-pigeon"}); err == nil {
+		t.Fatal("bad codec must fail")
+	}
+	if err := run(loadOptions{codec: "wire", rps: 0, duration: time.Second, concurrency: 1, batch: 1}); err == nil {
+		t.Fatal("zero rps must fail")
+	}
+	o := loadOptions{codec: "wire", rps: 10, duration: time.Second, concurrency: 1, batch: 1}
+	if err := run(o); err == nil {
+		t.Fatal("neither -url nor -self must fail")
+	}
+	o.url = "http://127.0.0.1:1"
+	if err := run(o); err == nil {
+		t.Fatal("-url without -replay must fail")
+	}
+}
+
+// TestSelfFleetBench runs the hermetic mode end to end: boot replicas
+// and gate in-process, drive a short load, and check the report file.
+func TestSelfFleetBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	err := run(loadOptions{
+		selfFleet:   2,
+		model:       "ecg",
+		codec:       "wire",
+		rps:         30,
+		duration:    1500 * time.Millisecond,
+		concurrency: 16,
+		batch:       4,
+		out:         out,
+	})
+	if err != nil {
+		t.Fatalf("self-fleet bench: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v: %s", err, raw)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("report: %d requests, %d errors: %s", rep.Requests, rep.Errors, raw)
+	}
+	if rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P99 < rep.LatencyMs.P50 || rep.LatencyMs.P999 < rep.LatencyMs.P99 {
+		t.Fatalf("latency percentiles not ordered: %+v", rep.LatencyMs)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Fatalf("achieved rps = %v", rep.AchievedRPS)
+	}
+	// The acceptance bar this report exists to watch: binary wire bodies
+	// at no more than half the JSON cost for the same curves.
+	if 2*rep.BytesPerRequest["wire"] > rep.BytesPerRequest["json"] {
+		t.Fatalf("wire bytes %d not <= 50%% of json bytes %d",
+			rep.BytesPerRequest["wire"], rep.BytesPerRequest["json"])
+	}
+}
+
+// TestReplayDecoding checks the mfodgen -json document shape loads.
+func TestReplayDecoding(t *testing.T) {
+	doc := `{"samples":[{"times":[0,1],"values":[[1,2],[3,4]]}]}`
+	d, err := decodeReplay([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 1 || len(d.Samples[0].Times) != 2 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if _, err := decodeReplay([]byte("not json")); err == nil {
+		t.Fatal("garbage replay must fail")
+	}
+}

@@ -23,6 +23,14 @@ var goroutinePkgs = map[string]bool{
 // slices a parallel.For worker fills are not consumed between the For
 // call and the parallel.FirstError check, where they may hold partial
 // results from a failed run.
+//
+// internal/gate and the cmd binaries are deliberately NOT on the
+// allowlist: their goroutines are lifecycle plumbing (accept loops, the
+// topology watcher, the health prober, hedge legs), not numeric
+// fan-out, and each one must carry an individual
+// `//mfodlint:allow poolmisuse <reason>` directive naming how it is
+// bounded and joined. Blanket-allowing those packages would also let
+// unannotated scoring fan-out slip in beside the plumbing.
 var Poolmisuse = &Analyzer{
 	Name: "poolmisuse",
 	Doc: "forbid go statements outside internal/parallel, internal/serve and " +

@@ -1,0 +1,436 @@
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fda"
+	"repro/internal/resilience"
+	"repro/internal/wire"
+)
+
+// Config wires a Gate together. Table is required; everything else has
+// serviceable defaults.
+type Config struct {
+	Table   *Table
+	Health  *Health
+	Metrics *Metrics
+	Logger  *slog.Logger
+	// Client is the upstream transport shared by every replica leg; nil
+	// means http.DefaultClient.
+	Client *http.Client
+	// HedgeDelay is how long the primary replica may stay silent before
+	// the secondary leg launches; 0 means 50ms.
+	HedgeDelay time.Duration
+	// Timeout bounds one gateway request end to end; 0 means 30s.
+	Timeout time.Duration
+	// MaxBodyBytes caps the inbound request body; 0 means 32 MiB.
+	MaxBodyBytes int64
+	// Attempts is the per-leg retry count (resilience.Client); 0 means 2
+	// — the hedge, not deep retry stacks, owns availability.
+	Attempts int
+	// BreakerThreshold opens a replica's circuit after that many
+	// consecutive failures; 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is the open-circuit probe interval; 0 means 1s.
+	BreakerCooldown time.Duration
+	// JSONUpstream disables the default JSON→binary transcoding of
+	// inbound JSON bodies, forwarding them byte-for-byte instead. Binary
+	// inbound bodies are always forwarded as-is.
+	JSONUpstream bool
+}
+
+// Gate is the scale-out front tier: it consistent-hash-shards model
+// names across the mfodserve replicas of a file-watched topology,
+// health-checks them actively, and answers each scoring request through
+// a hedged race between a model's primary replica and its ring
+// successor. Requests leave the gate on the binary wire codec by
+// default, whatever the client spoke.
+//
+//	POST /v1/models/{name}:score    forwarded to the model's shard (hedged)
+//	POST /v1/models/{name}:reload   broadcast to every replica
+//	GET  /v1/models                 proxied to the first healthy replica
+//	GET  /v1/topology               current fleet, routing and health view
+//	GET  /healthz                   gate liveness
+//	GET  /readyz                    503 until a replica is healthy / while draining
+//	GET  /metrics                   Prometheus text exposition
+type Gate struct {
+	cfg      Config
+	hedge    resilience.Hedge
+	budget   *resilience.Budget
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	clients map[string]*resilience.Client // per-replica breaker clients, by name
+}
+
+// New validates the config and returns a Gate.
+func New(cfg Config) (*Gate, error) {
+	if cfg.Table == nil {
+		return nil, errors.New("gate: Config needs a topology Table")
+	}
+	if cfg.Health == nil {
+		cfg.Health = &Health{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 2
+	}
+	g := &Gate{
+		cfg:     cfg,
+		hedge:   resilience.Hedge{Delay: cfg.HedgeDelay},
+		budget:  resilience.NewBudget(0, 0),
+		clients: make(map[string]*resilience.Client),
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.RegisterFleetGauges(
+			func() int { return g.cfg.Table.Fleet().ring.Len() },
+			cfg.Health.Snapshot,
+		)
+	}
+	return g, nil
+}
+
+// Drain flips readiness to 503; in-flight requests keep running.
+func (g *Gate) Drain() { g.draining.Store(true) }
+
+// client returns the resilience client for a replica, creating it (and
+// its breaker) on first use. Clients persist across topology reloads
+// keyed by replica name, so a reload does not reset breaker state for
+// replicas that stayed.
+func (g *Gate) client(name string) *resilience.Client {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.clients[name]; ok {
+		return c
+	}
+	c := &resilience.Client{
+		HTTP:        g.cfg.Client,
+		MaxAttempts: g.cfg.Attempts,
+		Backoff:     &resilience.Backoff{Base: 25 * time.Millisecond, Max: 250 * time.Millisecond, Seed: 1},
+		Budget:      g.budget,
+		Breaker:     resilience.NewBreaker(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown),
+	}
+	g.clients[name] = c
+	return c
+}
+
+// Route resolves the current primary and secondary replica for a model
+// name: the ring's preference order filtered through health, falling
+// back to the raw ring order when health has everything down (the
+// breaker and hedge then sort out reality). Exposed for tests and the
+// topology endpoint.
+func (g *Gate) Route(model string) (primary, secondary string) {
+	f := g.cfg.Table.Fleet()
+	order := f.ring.Order(model, 0)
+	healthy := make([]string, 0, len(order))
+	for _, name := range order {
+		if g.cfg.Health.Up(name) {
+			healthy = append(healthy, name)
+		}
+	}
+	if len(healthy) == 0 {
+		healthy = order
+	}
+	primary = healthy[0]
+	if len(healthy) > 1 {
+		secondary = healthy[1]
+	}
+	return primary, secondary
+}
+
+// Handler returns the routing handler.
+func (g *Gate) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if g.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if !g.anyReplicaUp() {
+			http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.cfg.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /v1/topology", g.handleTopology)
+	mux.HandleFunc("GET /v1/models", g.handleList)
+	mux.HandleFunc("/v1/models/", g.handleModel)
+	return mux
+}
+
+func (g *Gate) anyReplicaUp() bool {
+	for _, name := range g.cfg.Table.Fleet().ring.Names() {
+		if g.cfg.Health.Up(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonError mirrors the serve package's error body shape, so clients
+// see one error format whether they talk to a replica or the gate.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleTopology renders the operator view: replicas, health and the
+// route every loaded model would take is left to the client (routes are
+// a pure function of the model name via /v1/topology?route=<model>).
+func (g *Gate) handleTopology(w http.ResponseWriter, r *http.Request) {
+	f := g.cfg.Table.Fleet()
+	down := g.cfg.Health.Snapshot()
+	type replicaView struct {
+		Name string `json:"name"`
+		URL  string `json:"url"`
+		Up   bool   `json:"up"`
+	}
+	out := struct {
+		Path     string        `json:"path"`
+		LoadedAt time.Time     `json:"loadedAt"`
+		VNodes   int           `json:"vnodes"`
+		Replicas []replicaView `json:"replicas"`
+		Route    []string      `json:"route,omitempty"`
+	}{Path: g.cfg.Table.Path(), LoadedAt: f.loadedAt, VNodes: f.topo.VNodes}
+	if out.VNodes <= 0 {
+		// The file omitted vnodes; report what the ring actually uses.
+		out.VNodes = DefaultVNodes
+	}
+	for _, name := range f.ring.Names() {
+		out.Replicas = append(out.Replicas, replicaView{Name: name, URL: f.urls[name], Up: !down[name]})
+	}
+	if model := r.URL.Query().Get("route"); model != "" {
+		primary, secondary := g.Route(model)
+		out.Route = append(out.Route, primary)
+		if secondary != "" {
+			out.Route = append(out.Route, secondary)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleList proxies the model listing to the first healthy replica:
+// every replica of a uniform fleet answers identically, and a sharded
+// fleet's union view is an operator concern /v1/topology covers better.
+func (g *Gate) handleList(w http.ResponseWriter, r *http.Request) {
+	f := g.cfg.Table.Fleet()
+	for _, name := range f.ring.Names() {
+		if !g.cfg.Health.Up(name) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, f.urls[name]+"/v1/models", nil)
+		if err != nil {
+			continue
+		}
+		client := g.cfg.Client
+		if client == nil {
+			client = http.DefaultClient
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	jsonError(w, http.StatusBadGateway, "no healthy replica answered the model listing")
+}
+
+// handleModel routes /v1/models/{name}:score and :reload, mirroring the
+// replica URL surface so clients can point at a gate unchanged.
+func (g *Gate) handleModel(w http.ResponseWriter, r *http.Request) {
+	tail := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	name, action, hasAction := strings.Cut(tail, ":")
+	if name == "" || strings.Contains(name, "/") {
+		jsonError(w, http.StatusNotFound, "no such route %q", r.URL.Path)
+		return
+	}
+	switch {
+	case action == "score" && r.Method == http.MethodPost:
+		g.handleScore(w, r, name)
+	case action == "reload" && r.Method == http.MethodPost:
+		g.handleReload(w, r, name)
+	case hasAction && (action == "score" || action == "reload"):
+		jsonError(w, http.StatusMethodNotAllowed, "%s requires POST", action)
+	default:
+		jsonError(w, http.StatusNotFound, "unknown action %q", action)
+	}
+}
+
+// handleReload broadcasts a model reload to every replica — a sharded
+// deployment does not know which replica holds the model, and reloading
+// a model a replica does not serve is that replica's 404 to report.
+func (g *Gate) handleReload(w http.ResponseWriter, r *http.Request, model string) {
+	f := g.cfg.Table.Fleet()
+	results := make(map[string]string, f.ring.Len())
+	failures := 0
+	for _, name := range f.ring.Names() {
+		resp, err := g.client(name).Post(r.Context(), f.urls[name]+"/v1/models/"+model+":reload", "application/json", nil)
+		if err != nil {
+			results[name] = err.Error()
+			failures++
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		results[name] = resp.Status
+		if resp.StatusCode != http.StatusOK {
+			failures++
+		}
+	}
+	code := http.StatusOK
+	if failures > 0 {
+		code = http.StatusBadGateway
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"model": model, "replicas": results})
+}
+
+// inboundBody reads and caps the request body, returning the upstream
+// payload and its codec. JSON bodies are transcoded to the binary wire
+// frame unless JSONUpstream is set; wire bodies always pass through
+// untouched — the gate never decodes what it can forward.
+func (g *Gate) inboundBody(w http.ResponseWriter, r *http.Request) (body []byte, codec string, code int) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			jsonError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return nil, "", http.StatusRequestEntityTooLarge
+		}
+		jsonError(w, http.StatusBadRequest, "read body: %v", err)
+		return nil, "", http.StatusBadRequest
+	}
+	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	if strings.TrimSpace(ct) == wire.ContentType {
+		return raw, "wire", 0
+	}
+	if g.cfg.JSONUpstream {
+		return raw, "json", 0
+	}
+	// Transcode JSON → wire so the fleet's internal traffic rides the
+	// compact codec even for JSON clients. A body the gate cannot parse
+	// would only 400 at the replica; failing here is cheaper and blames
+	// the right hop.
+	var req struct {
+		Samples []struct {
+			Times  []float64   `json:"times"`
+			Values [][]float64 `json:"values"`
+		} `json:"samples"`
+		Explain int `json:"explain,omitempty"`
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, "decode body: %v", err)
+		return nil, "", http.StatusBadRequest
+	}
+	ds := fda.Dataset{Samples: make([]fda.Sample, len(req.Samples))}
+	for i, sm := range req.Samples {
+		ds.Samples[i] = fda.Sample{Times: sm.Times, Values: sm.Values}
+	}
+	return wire.EncodeRequest(wire.Request{Dataset: ds, Explain: req.Explain}), "wire", 0
+}
+
+// handleScore is the hot path: resolve the model's shard, race the
+// hedged legs, relay the winning replica answer.
+func (g *Gate) handleScore(w http.ResponseWriter, r *http.Request, model string) {
+	start := time.Now()
+	code := g.score(w, r, model)
+	g.cfg.Metrics.ObserveRequest(model, code, time.Since(start).Seconds())
+	g.cfg.Logger.Info("request",
+		"method", r.Method, "path", r.URL.Path, "model", model, "code", code,
+		"durMs", float64(time.Since(start).Microseconds())/1000)
+}
+
+func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
+	body, codec, errCode := g.inboundBody(w, r)
+	if errCode != 0 {
+		return errCode
+	}
+	contentType := wire.ContentType
+	if codec == "json" {
+		contentType = "application/json"
+	}
+	f := g.cfg.Table.Fleet()
+	primary, secondary := g.Route(model)
+	target := func(name string) string {
+		u := f.urls[name] + "/v1/models/" + model + ":score"
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		return u
+	}
+	leg := func(name string) func(ctx context.Context) (*http.Response, error) {
+		return func(ctx context.Context) (*http.Response, error) {
+			resp, err := g.client(name).Post(ctx, target(name), contentType, body)
+			g.cfg.Metrics.ObserveReplica(name, err == nil)
+			if err == nil {
+				g.cfg.Metrics.ObserveUpstreamBytes(codec, len(body))
+			}
+			return resp, err
+		}
+	}
+	var secondaryLeg func(ctx context.Context) (*http.Response, error)
+	if secondary != "" {
+		secondaryLeg = leg(secondary)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+	resp, winner, err := g.hedge.Do(ctx, leg(primary), secondaryLeg)
+	g.cfg.Metrics.ObserveHedge(winner == resilience.Secondary, winner.String())
+	if err != nil {
+		// Both legs failed (or the only leg did): the fleet could not
+		// answer. 504 on deadline, 502 otherwise.
+		if errors.Is(err, context.DeadlineExceeded) {
+			jsonError(w, http.StatusGatewayTimeout, "fleet did not answer within %v", g.cfg.Timeout)
+			return http.StatusGatewayTimeout
+		}
+		jsonError(w, http.StatusBadGateway, "fleet error via %s: %v", primary, err)
+		return http.StatusBadGateway
+	}
+	relay(w, resp)
+	return resp.StatusCode
+}
+
+// relay copies a replica response — status, content type, body — to the
+// client and closes it.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

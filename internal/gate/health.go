@@ -1,0 +1,141 @@
+package gate
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health actively probes every replica of the current fleet and keeps a
+// concurrently-readable up/down verdict per replica name. One probe
+// round GETs each replica's /healthz with a short timeout; a replica is
+// down after Threshold consecutive failures and up again after a single
+// success, so a kill is noticed within about Threshold×Interval while a
+// lone dropped probe does not flap routing.
+//
+// Replicas unknown to the health map (just added by a topology reload,
+// not yet probed) route as up: optimistic until proven dead, because
+// hedged failover already covers the first request that finds out.
+type Health struct {
+	// Interval between probe rounds; 0 means 2s.
+	Interval time.Duration
+	// Timeout per probe; 0 means min(Interval, 1s).
+	Timeout time.Duration
+	// Threshold is the consecutive-failure count that marks a replica
+	// down; 0 means 2.
+	Threshold int
+	// Client is the probing HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// OnChange, when non-nil, observes up/down transitions (logging,
+	// metrics). Called from the probe goroutine.
+	OnChange func(replica string, up bool)
+
+	mu    sync.Mutex
+	fails map[string]int
+	down  map[string]bool
+}
+
+// Up reports whether the named replica is currently believed healthy.
+func (h *Health) Up(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.down[name]
+}
+
+// Snapshot returns the down-set — replica names currently believed
+// dead — for the topology endpoint.
+func (h *Health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.down))
+	for n, d := range h.down {
+		if d {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// probe runs one health round over the fleet's replicas sequentially;
+// fleets are a handful of replicas and the probe timeout is short, so a
+// round comfortably fits one interval without fan-out.
+func (h *Health) probe(f *fleet) {
+	threshold := h.Threshold
+	if threshold <= 0 {
+		threshold = 2
+	}
+	timeout := h.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+		if h.Interval > 0 && h.Interval < timeout {
+			timeout = h.Interval
+		}
+	}
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	for _, name := range f.ring.Names() {
+		ok := h.probeOne(client, f.urls[name]+"/healthz", timeout)
+		h.mu.Lock()
+		if h.fails == nil {
+			h.fails = make(map[string]int)
+			h.down = make(map[string]bool)
+		}
+		wasDown := h.down[name]
+		if ok {
+			h.fails[name] = 0
+			h.down[name] = false
+		} else {
+			h.fails[name]++
+			if h.fails[name] >= threshold {
+				h.down[name] = true
+			}
+		}
+		isDown := h.down[name]
+		h.mu.Unlock()
+		if wasDown != isDown && h.OnChange != nil {
+			h.OnChange(name, !isDown)
+		}
+	}
+}
+
+func (h *Health) probeOne(client *http.Client, url string, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Run probes the table's current fleet every Interval until stop is
+// closed. The first round runs immediately so a gate does not serve an
+// entire interval blind.
+func (h *Health) Run(table *Table, stop <-chan struct{}) {
+	interval := h.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	//mfodlint:allow poolmisuse replica health prober: a single long-lived goroutine per gate process, stopped via the stop channel on shutdown; verdicts cross to the routing path only through the mutex-guarded maps
+	go func() {
+		h.probe(table.Fleet())
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				h.probe(table.Fleet())
+			}
+		}
+	}()
+}

@@ -1,0 +1,112 @@
+package gate
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// tableFor builds a Table over live httptest replica URLs.
+func tableFor(t *testing.T, urls map[string]string) *Table {
+	t.Helper()
+	doc := `{"vnodes": 16, "replicas": [`
+	first := true
+	for name, u := range urls {
+		if !first {
+			doc += ","
+		}
+		first = false
+		doc += `{"name": "` + name + `", "url": "` + u + `"}`
+	}
+	doc += `]}`
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	table, err := LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+func TestHealthTransitions(t *testing.T) {
+	var sick atomic.Bool
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer good.Close()
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if sick.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer flaky.Close()
+
+	table := tableFor(t, map[string]string{"good": good.URL, "flaky": flaky.URL})
+	h := &Health{Threshold: 2}
+
+	// Unknown replicas are optimistically up before any probe.
+	if !h.Up("good") || !h.Up("flaky") || !h.Up("never-probed") {
+		t.Fatal("unprobed replicas should route as up")
+	}
+
+	h.probe(table.Fleet())
+	if !h.Up("good") || !h.Up("flaky") {
+		t.Fatal("healthy replicas marked down after a clean round")
+	}
+
+	// One bad round is below Threshold=2: still up.
+	sick.Store(true)
+	h.probe(table.Fleet())
+	if !h.Up("flaky") {
+		t.Fatal("single failed probe flapped the replica down")
+	}
+	// Second consecutive failure crosses the threshold.
+	h.probe(table.Fleet())
+	if h.Up("flaky") {
+		t.Fatal("replica still up after Threshold consecutive failures")
+	}
+	if h.Up("good") {
+		// good never failed
+	} else {
+		t.Fatal("healthy replica went down alongside the sick one")
+	}
+	if down := h.Snapshot(); !down["flaky"] || len(down) != 1 {
+		t.Fatalf("Snapshot = %v, want only flaky down", down)
+	}
+
+	// A single success recovers immediately.
+	sick.Store(false)
+	h.probe(table.Fleet())
+	if !h.Up("flaky") {
+		t.Fatal("replica not restored after one successful probe")
+	}
+}
+
+func TestHealthOnChange(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	table := tableFor(t, map[string]string{"dead": dead.URL})
+
+	type change struct {
+		name string
+		up   bool
+	}
+	var changes []change
+	h := &Health{Threshold: 1, OnChange: func(name string, up bool) {
+		changes = append(changes, change{name, up})
+	}}
+	h.probe(table.Fleet())
+	h.probe(table.Fleet()) // already down: no second transition
+	if len(changes) != 1 || changes[0] != (change{"dead", false}) {
+		t.Fatalf("changes = %v, want one down transition", changes)
+	}
+}

@@ -1,0 +1,236 @@
+package gate
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// gateLatencyBuckets are the upper bounds (seconds) of the gate's
+// end-to-end latency histogram — the client-observed number, including
+// the replica round trip and any hedge.
+var gateLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type gateReqKey struct {
+	model string
+	code  int
+}
+
+type replicaKey struct {
+	replica string
+	outcome string // "ok" | "error"
+}
+
+// Metrics aggregates the gate's counters and histograms and renders
+// them in the Prometheus text format. All methods are safe for
+// concurrent use and nil-receiver tolerant, mirroring internal/serve.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[gateReqKey]uint64
+	replicas map[replicaKey]uint64
+	// Hedge accounting: how many races launched a secondary at all, and
+	// which leg delivered the winning answer.
+	hedges   uint64
+	legWins  map[string]uint64
+	reloads  uint64
+	buckets  []uint64
+	latCount uint64
+	latSum   float64
+	// upstreamBytes counts bytes forwarded to replicas per codec, so the
+	// gate's own JSON→wire transcoding savings are observable.
+	upstreamBytes map[string]uint64
+
+	// scrape-time gauges, installed during wiring
+	healthDown func() map[string]bool
+	fleetSize  func() int
+}
+
+// NewMetrics returns an empty gate metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:      make(map[gateReqKey]uint64),
+		replicas:      make(map[replicaKey]uint64),
+		legWins:       make(map[string]uint64),
+		buckets:       make([]uint64, len(gateLatencyBuckets)),
+		upstreamBytes: make(map[string]uint64),
+	}
+}
+
+// ObserveRequest records one finished gateway request.
+func (m *Metrics) ObserveRequest(model string, code int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[gateReqKey{model, code}]++
+	m.latCount++
+	if seconds >= 0 {
+		m.latSum += seconds
+	}
+	for i, ub := range gateLatencyBuckets {
+		if seconds <= ub {
+			m.buckets[i]++
+		}
+	}
+}
+
+// ObserveReplica records one leg's outcome against a replica.
+func (m *Metrics) ObserveReplica(replica string, ok bool) {
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	if !ok {
+		outcome = "error"
+	}
+	m.mu.Lock()
+	m.replicas[replicaKey{replica, outcome}]++
+	m.mu.Unlock()
+}
+
+// ObserveHedge records one finished race: whether a secondary leg was
+// launched and which leg won.
+func (m *Metrics) ObserveHedge(secondaryLaunched bool, winner string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if secondaryLaunched {
+		m.hedges++
+	}
+	m.legWins[winner]++
+	m.mu.Unlock()
+}
+
+// ObserveUpstreamBytes counts body bytes forwarded upstream per codec.
+func (m *Metrics) ObserveUpstreamBytes(codec string, n int) {
+	if m == nil || n < 0 {
+		return
+	}
+	m.mu.Lock()
+	m.upstreamBytes[codec] += uint64(n)
+	m.mu.Unlock()
+}
+
+// ObserveTopologyReload counts one successful topology hot-reload.
+func (m *Metrics) ObserveTopologyReload() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.reloads++
+	m.mu.Unlock()
+}
+
+// RegisterFleetGauges installs the scrape-time gauges: the current
+// fleet size and the health down-set. Call once during wiring.
+func (m *Metrics) RegisterFleetGauges(fleetSize func() int, healthDown func() map[string]bool) {
+	if m != nil {
+		m.fleetSize = fleetSize
+		m.healthDown = healthDown
+	}
+}
+
+// WritePrometheus renders every series in sorted order.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP mfodgate_requests_total Gateway scoring requests by model and HTTP status code.")
+	fmt.Fprintln(w, "# TYPE mfodgate_requests_total counter")
+	rkeys := make([]gateReqKey, 0, len(m.requests))
+	for k := range m.requests {
+		rkeys = append(rkeys, k)
+	}
+	sort.Slice(rkeys, func(a, b int) bool {
+		if rkeys[a].model != rkeys[b].model {
+			return rkeys[a].model < rkeys[b].model
+		}
+		return rkeys[a].code < rkeys[b].code
+	})
+	for _, k := range rkeys {
+		fmt.Fprintf(w, "mfodgate_requests_total{model=%q,code=\"%d\"} %d\n", k.model, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP mfodgate_request_duration_seconds Client-observed gateway latency including hedges.")
+	fmt.Fprintln(w, "# TYPE mfodgate_request_duration_seconds histogram")
+	for i, ub := range gateLatencyBuckets {
+		fmt.Fprintf(w, "mfodgate_request_duration_seconds_bucket{le=\"%g\"} %d\n", ub, m.buckets[i])
+	}
+	fmt.Fprintf(w, "mfodgate_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount)
+	fmt.Fprintf(w, "mfodgate_request_duration_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "mfodgate_request_duration_seconds_count %d\n", m.latCount)
+
+	fmt.Fprintln(w, "# HELP mfodgate_replica_requests_total Upstream legs by replica and outcome.")
+	fmt.Fprintln(w, "# TYPE mfodgate_replica_requests_total counter")
+	pkeys := make([]replicaKey, 0, len(m.replicas))
+	for k := range m.replicas {
+		pkeys = append(pkeys, k)
+	}
+	sort.Slice(pkeys, func(a, b int) bool {
+		if pkeys[a].replica != pkeys[b].replica {
+			return pkeys[a].replica < pkeys[b].replica
+		}
+		return pkeys[a].outcome < pkeys[b].outcome
+	})
+	for _, k := range pkeys {
+		fmt.Fprintf(w, "mfodgate_replica_requests_total{replica=%q,outcome=%q} %d\n", k.replica, k.outcome, m.replicas[k])
+	}
+
+	fmt.Fprintln(w, "# HELP mfodgate_hedges_total Races that launched the secondary leg.")
+	fmt.Fprintln(w, "# TYPE mfodgate_hedges_total counter")
+	fmt.Fprintf(w, "mfodgate_hedges_total %d\n", m.hedges)
+
+	fmt.Fprintln(w, "# HELP mfodgate_leg_wins_total Winning leg of finished races.")
+	fmt.Fprintln(w, "# TYPE mfodgate_leg_wins_total counter")
+	legs := make([]string, 0, len(m.legWins))
+	for l := range m.legWins {
+		legs = append(legs, l)
+	}
+	sort.Strings(legs)
+	for _, l := range legs {
+		fmt.Fprintf(w, "mfodgate_leg_wins_total{leg=%q} %d\n", l, m.legWins[l])
+	}
+
+	fmt.Fprintln(w, "# HELP mfodgate_upstream_bytes_total Body bytes forwarded to replicas by codec.")
+	fmt.Fprintln(w, "# TYPE mfodgate_upstream_bytes_total counter")
+	codecs := make([]string, 0, len(m.upstreamBytes))
+	for c := range m.upstreamBytes {
+		codecs = append(codecs, c)
+	}
+	sort.Strings(codecs)
+	for _, c := range codecs {
+		fmt.Fprintf(w, "mfodgate_upstream_bytes_total{codec=%q} %d\n", c, m.upstreamBytes[c])
+	}
+
+	fmt.Fprintln(w, "# HELP mfodgate_topology_reloads_total Successful topology hot-reloads.")
+	fmt.Fprintln(w, "# TYPE mfodgate_topology_reloads_total counter")
+	fmt.Fprintf(w, "mfodgate_topology_reloads_total %d\n", m.reloads)
+
+	if m.fleetSize != nil {
+		fmt.Fprintln(w, "# HELP mfodgate_replicas Replicas in the current topology.")
+		fmt.Fprintln(w, "# TYPE mfodgate_replicas gauge")
+		fmt.Fprintf(w, "mfodgate_replicas %d\n", m.fleetSize())
+	}
+	if m.healthDown != nil {
+		down := m.healthDown()
+		names := make([]string, 0, len(down))
+		for n := range down {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "# HELP mfodgate_replica_down Replicas currently failing health checks.")
+		fmt.Fprintln(w, "# TYPE mfodgate_replica_down gauge")
+		fmt.Fprintf(w, "mfodgate_replica_down %d\n", len(names))
+		for _, n := range names {
+			fmt.Fprintf(w, "mfodgate_replica_down_info{replica=%q} 1\n", n)
+		}
+	}
+}

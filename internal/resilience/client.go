@@ -11,7 +11,8 @@ import (
 )
 
 // Client wraps an http.Client with retry, backoff, a retry budget and a
-// circuit breaker for JSON POSTs against mfodserve. Scoring is
+// circuit breaker for scoring POSTs (JSON or the internal/wire binary
+// frame) against mfodserve. Scoring is
 // idempotent, so transient failures (connection errors, 429, 5xx) are
 // safe to retry; definitive answers — including 4xx — are returned to
 // the caller untouched.
@@ -50,11 +51,17 @@ func retryAfter(resp *http.Response) time.Duration {
 	return time.Duration(s) * time.Second
 }
 
-// PostJSON sends body to url, retrying transient failures with backoff
+// PostJSON sends a JSON body to url with Post's retry semantics.
+func (c *Client) PostJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	return c.Post(ctx, url, "application/json", body)
+}
+
+// Post sends body to url under the given content type — JSON or the
+// internal/wire binary frame — retrying transient failures with backoff
 // until an attempt gets a definitive answer, the attempt budget or retry
 // budget runs out, the breaker opens, or ctx expires. On success the
 // caller owns resp.Body.
-func (c *Client) PostJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
+func (c *Client) Post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
 		attempts = 4
@@ -99,7 +106,7 @@ func (c *Client) PostJSON(ctx context.Context, url string, body []byte) (*http.R
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 		resp, err := httpc.Do(req)
 		if err != nil {
 			if c.Breaker != nil {

@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Leg identifies which side of a hedged call produced the answer.
+type Leg int
+
+const (
+	// Primary is the replica the shard ring prefers for the key.
+	Primary Leg = iota
+	// Secondary is the failover replica the hedge falls back to.
+	Secondary
+)
+
+func (l Leg) String() string {
+	if l == Primary {
+		return "primary"
+	}
+	return "secondary"
+}
+
+// legResult carries one leg's outcome across the race.
+type legResult struct {
+	resp *http.Response
+	err  error
+	leg  Leg
+}
+
+// Hedge races a primary HTTP call against a delayed secondary. The
+// secondary starts when the primary has neither answered nor failed
+// within Delay — covering slow replicas — or immediately when the
+// primary fails fast (connection refused, open circuit, retries
+// exhausted) — covering dead ones. The first definitive answer wins;
+// the losing leg is cancelled and its eventual response drained so its
+// connection is reused rather than leaked.
+type Hedge struct {
+	// Delay is how long the primary may stay silent before the secondary
+	// is launched; 0 means 50ms. Tail latency above this bound is paid
+	// for with one duplicate request.
+	Delay time.Duration
+}
+
+// Do runs the race. Both call functions must honour their context; they
+// typically wrap Client.Post against two different replicas, so each
+// leg carries its own breaker and retry policy. A nil secondary (no
+// distinct failover replica in the topology) degrades to a plain
+// primary call.
+//
+// The winning response's body is buffered in full before Do returns —
+// scoring responses are small score arrays — so the race's context can
+// be torn down immediately and callers read the body with no live
+// connection behind it. On total failure the primary's error is
+// returned, as it describes the preferred replica.
+func (h *Hedge) Do(ctx context.Context, primary, secondary func(context.Context) (*http.Response, error)) (*http.Response, Leg, error) {
+	if secondary == nil {
+		resp, err := primary(ctx)
+		if err != nil {
+			return nil, Primary, err
+		}
+		if err := bufferBody(resp); err != nil {
+			return nil, Primary, err
+		}
+		return resp, Primary, nil
+	}
+	delay := h.Delay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+
+	raceCtx, cancelRace := context.WithCancel(ctx)
+	defer cancelRace()
+	results := make(chan legResult, 2)
+	launch := func(leg Leg, call func(context.Context) (*http.Response, error)) {
+		// Hedged-request leg: both legs must run concurrently for the race to cut tail latency; every leg reports exactly once on the buffered results channel, so none blocks or leaks
+		go func() {
+			resp, err := call(raceCtx)
+			results <- legResult{resp: resp, err: err, leg: leg}
+		}()
+	}
+	launch(Primary, primary)
+	outstanding, secondaryUp := 1, false
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var primaryErr error
+	for {
+		select {
+		case <-timer.C:
+			if !secondaryUp {
+				secondaryUp = true
+				outstanding++
+				launch(Secondary, secondary)
+			}
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				// Buffer the winner's body while its connection is still
+				// alive, then let the deferred cancel stop the loser, which
+				// is reaped in the background.
+				err := bufferBody(r.resp)
+				reapN(results, outstanding)
+				if err != nil {
+					return nil, r.leg, err
+				}
+				return r.resp, r.leg, nil
+			}
+			if r.leg == Primary {
+				primaryErr = r.err
+			}
+			if !secondaryUp {
+				// Fast failover: the primary died before the hedge timer, so
+				// there is nothing to wait for.
+				secondaryUp = true
+				outstanding++
+				launch(Secondary, secondary)
+				continue
+			}
+			if outstanding == 0 {
+				if primaryErr != nil {
+					return nil, Primary, primaryErr
+				}
+				return nil, r.leg, r.err
+			}
+		case <-ctx.Done():
+			reapN(results, outstanding)
+			return nil, Primary, ctx.Err()
+		}
+	}
+}
+
+// bufferBody replaces resp.Body with a fully-read in-memory copy, so the
+// response outlives the request context that produced it.
+func bufferBody(resp *http.Response) error {
+	buf, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(buf))
+	return nil
+}
+
+// reapN drains n outstanding leg results in the background, closing any
+// response a cancelled leg still delivers.
+func reapN(results chan legResult, n int) {
+	if n <= 0 {
+		return
+	}
+	// Loser-leg reaper: the race already answered the caller, so the cancelled legs' eventual responses are drained asynchronously purely to close their bodies and recycle connections
+	go func() {
+		for i := 0; i < n; i++ {
+			r := <-results
+			if r.resp != nil && r.resp.Body != nil {
+				io.Copy(io.Discard, io.LimitReader(r.resp.Body, 4096))
+				r.resp.Body.Close()
+			}
+		}
+	}()
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// legServer returns an httptest server answering with body after delay,
+// plus a counter of requests that reached it.
+func legServer(t *testing.T, body string, delay time.Duration) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func legCall(url string) func(context.Context) (*http.Response, error) {
+	return func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		return http.DefaultClient.Do(req)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read hedged body: %v", err)
+	}
+	return string(b)
+}
+
+// TestHedgeFastPrimaryWins: a healthy primary answers before the hedge
+// delay, so the secondary is never contacted.
+func TestHedgeFastPrimaryWins(t *testing.T) {
+	prim, _ := legServer(t, "primary", 0)
+	sec, secHits := legServer(t, "secondary", 0)
+	h := &Hedge{Delay: 200 * time.Millisecond}
+	resp, leg, err := h.Do(context.Background(), legCall(prim.URL), legCall(sec.URL))
+	if err != nil || leg != Primary {
+		t.Fatalf("leg=%v err=%v, want primary success", leg, err)
+	}
+	if got := readBody(t, resp); got != "primary" {
+		t.Fatalf("body = %q", got)
+	}
+	if secHits.Load() != 0 {
+		t.Fatal("secondary was contacted although the primary was fast")
+	}
+}
+
+// TestHedgeSlowPrimaryLosesToSecondary: the primary sits past the hedge
+// delay, the secondary is launched and wins.
+func TestHedgeSlowPrimaryLosesToSecondary(t *testing.T) {
+	prim, _ := legServer(t, "primary", 2*time.Second)
+	sec, _ := legServer(t, "secondary", 0)
+	h := &Hedge{Delay: 20 * time.Millisecond}
+	start := time.Now()
+	resp, leg, err := h.Do(context.Background(), legCall(prim.URL), legCall(sec.URL))
+	if err != nil || leg != Secondary {
+		t.Fatalf("leg=%v err=%v, want secondary success", leg, err)
+	}
+	if got := readBody(t, resp); got != "secondary" {
+		t.Fatalf("body = %q", got)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge waited %v for the slow primary", elapsed)
+	}
+}
+
+// TestHedgeDeadPrimaryFastFailover: a connection-refused primary must
+// not burn the full hedge delay before the secondary starts.
+func TestHedgeDeadPrimaryFastFailover(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	sec, _ := legServer(t, "secondary", 0)
+	h := &Hedge{Delay: 10 * time.Second}
+	start := time.Now()
+	resp, leg, err := h.Do(context.Background(), legCall(deadURL), legCall(sec.URL))
+	if err != nil || leg != Secondary {
+		t.Fatalf("leg=%v err=%v, want secondary success", leg, err)
+	}
+	readBody(t, resp)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("failover took %v despite the fast primary failure", elapsed)
+	}
+}
+
+// TestHedgeBothFail: the primary's error is reported, being the replica
+// the caller actually asked for.
+func TestHedgeBothFail(t *testing.T) {
+	primErr := errors.New("primary down")
+	secErr := errors.New("secondary down")
+	h := &Hedge{Delay: 5 * time.Millisecond}
+	_, _, err := h.Do(context.Background(),
+		func(context.Context) (*http.Response, error) { return nil, primErr },
+		func(context.Context) (*http.Response, error) { return nil, secErr },
+	)
+	if !errors.Is(err, primErr) {
+		t.Fatalf("err = %v, want the primary's error", err)
+	}
+}
+
+// TestHedgeNilSecondary degrades to a plain call.
+func TestHedgeNilSecondary(t *testing.T) {
+	prim, _ := legServer(t, "solo", 0)
+	h := &Hedge{}
+	resp, leg, err := h.Do(context.Background(), legCall(prim.URL), nil)
+	if err != nil || leg != Primary {
+		t.Fatalf("leg=%v err=%v", leg, err)
+	}
+	if got := readBody(t, resp); got != "solo" {
+		t.Fatalf("body = %q", got)
+	}
+}
+
+// TestHedgeParentCancellation: a cancelled caller context stops the
+// whole race promptly.
+func TestHedgeParentCancellation(t *testing.T) {
+	prim, _ := legServer(t, "primary", 5*time.Second)
+	sec, _ := legServer(t, "secondary", 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	h := &Hedge{Delay: 5 * time.Millisecond}
+	start := time.Now()
+	_, _, err := h.Do(ctx, legCall(prim.URL), legCall(sec.URL))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestHedgeWinnerBodyOutlivesRace: the winner's body stays readable
+// after Do returns even though the race context is torn down — it is
+// buffered, not streamed off a cancelled connection.
+func TestHedgeWinnerBodyOutlivesRace(t *testing.T) {
+	big := strings.Repeat("x", 1<<16)
+	prim, _ := legServer(t, big, 0)
+	sec, _ := legServer(t, big, 0)
+	h := &Hedge{Delay: time.Millisecond}
+	resp, _, err := h.Do(context.Background(), legCall(prim.URL), legCall(sec.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the deferred race cancel land first
+	if got := readBody(t, resp); got != big {
+		t.Fatalf("winner body truncated to %d bytes", len(got))
+	}
+}

@@ -22,6 +22,21 @@ var latencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// sizeBuckets are the upper bounds (bytes) of the request-size
+// histogram: single-curve binary frames through the 32 MiB body cap.
+// Quartering per bucket keeps the series short while still separating
+// the binary wire frames from their ~3–5× larger JSON twins.
+var sizeBuckets = []float64{
+	256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// sizeHist is one codec's cell of the request-size histogram.
+type sizeHist struct {
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
 // reqKey labels one cell of the request counter.
 type reqKey struct {
 	model string
@@ -49,6 +64,10 @@ type Metrics struct {
 	batchCount uint64
 	batchSum   uint64
 	reloads    map[string]uint64
+	// Request-size histogram by codec ("json" / "wire"), so the byte
+	// savings of the binary wire format are observable in production,
+	// not only in BENCH_serve.json.
+	reqBytes map[string]*sizeHist
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -57,6 +76,7 @@ func NewMetrics() *Metrics {
 		requests:     make(map[reqKey]uint64),
 		bucketCounts: make([]uint64, len(latencyBuckets)),
 		reloads:      make(map[string]uint64),
+		reqBytes:     make(map[string]*sizeHist),
 	}
 }
 
@@ -76,6 +96,28 @@ func (m *Metrics) ObserveRequest(model string, code int, seconds float64) {
 	for i, ub := range latencyBuckets {
 		if seconds <= ub {
 			m.bucketCounts[i]++
+		}
+	}
+}
+
+// ObserveRequestBytes records the body size of one scoring request
+// under its codec label ("json" or "wire").
+func (m *Metrics) ObserveRequestBytes(codec string, n int) {
+	if m == nil || n < 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.reqBytes[codec]
+	if h == nil {
+		h = &sizeHist{buckets: make([]uint64, len(sizeBuckets))}
+		m.reqBytes[codec] = h
+	}
+	h.count++
+	h.sum += float64(n)
+	for i, ub := range sizeBuckets {
+		if float64(n) <= ub {
+			h.buckets[i]++
 		}
 	}
 }
@@ -163,6 +205,26 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "mfod_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latCount)
 	fmt.Fprintf(w, "mfod_request_duration_seconds_sum %g\n", m.latSum)
 	fmt.Fprintf(w, "mfod_request_duration_seconds_count %d\n", m.latCount)
+
+	if len(m.reqBytes) > 0 {
+		fmt.Fprintln(w, "# HELP mfod_request_bytes Scoring request body size by codec.")
+		fmt.Fprintln(w, "# TYPE mfod_request_bytes histogram")
+		codecs := make([]string, 0, len(m.reqBytes))
+		for c := range m.reqBytes {
+			codecs = append(codecs, c)
+		}
+		sort.Strings(codecs)
+		for _, c := range codecs {
+			h := m.reqBytes[c]
+			for i, ub := range sizeBuckets {
+				fmt.Fprintf(w, "mfod_request_bytes_bucket{codec=%q,le=%q} %d\n",
+					c, formatBound(ub), h.buckets[i])
+			}
+			fmt.Fprintf(w, "mfod_request_bytes_bucket{codec=%q,le=\"+Inf\"} %d\n", c, h.count)
+			fmt.Fprintf(w, "mfod_request_bytes_sum{codec=%q} %g\n", c, h.sum)
+			fmt.Fprintf(w, "mfod_request_bytes_count{codec=%q} %d\n", c, h.count)
+		}
+	}
 
 	fmt.Fprintln(w, "# HELP mfod_batch_jobs Jobs carried per worker wake-up (micro-batch size).")
 	fmt.Fprintln(w, "# TYPE mfod_batch_jobs summary")

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fda"
 	"repro/internal/geometry"
+	"repro/internal/wire"
 )
 
 // Config wires a Server together. Registry and Pool are required;
@@ -229,6 +230,71 @@ type scoreResponse struct {
 	ElapsedMs    float64             `json:"elapsedMs"`
 }
 
+// countingReader counts the bytes a JSON decode actually consumed, so
+// the request-size histogram reflects wire traffic, not Content-Length
+// headers that chunked clients omit.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// decodeScoreBody negotiates the request codec by Content-Type —
+// application/x-mfod-wire selects the internal/wire binary frame,
+// anything else is the JSON body documented on scoreRequest — and
+// decodes the curves. A zero return code means success; otherwise the
+// error response has already been written. Either way the body size is
+// recorded under its codec label.
+func (s *Server) decodeScoreBody(w http.ResponseWriter, r *http.Request) (ds fda.Dataset, explain, code int) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	if strings.TrimSpace(ct) == wire.ContentType {
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			return ds, 0, bodyReadError(w, err)
+		}
+		s.cfg.Metrics.ObserveRequestBytes("wire", len(raw))
+		req, err := wire.DecodeRequest(raw)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "decode body: %v", err)
+			return ds, 0, http.StatusBadRequest
+		}
+		return req.Dataset, req.Explain, 0
+	}
+	cr := &countingReader{r: body}
+	var req scoreRequest
+	if err := json.NewDecoder(cr).Decode(&req); err != nil {
+		return ds, 0, bodyReadError(w, err)
+	}
+	s.cfg.Metrics.ObserveRequestBytes("json", cr.n)
+	ds = fda.Dataset{Samples: make([]fda.Sample, len(req.Samples))}
+	for i, sm := range req.Samples {
+		ds.Samples[i] = fda.Sample{Times: sm.Times, Values: sm.Values}
+	}
+	return ds, req.Explain, 0
+}
+
+// bodyReadError writes the error response for a failed body read or
+// decode and returns the status code it chose.
+func bodyReadError(w http.ResponseWriter, err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		// MaxBytesReader has already stopped reading; answering with a
+		// JSON 413 instead of letting the decode error surface as a 400
+		// (or the connection reset a bare MaxBytesHandler gives).
+		jsonError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", tooBig.Limit)
+		return http.StatusRequestEntityTooLarge
+	}
+	jsonError(w, http.StatusBadRequest, "decode body: %v", err)
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, name string) {
 	start := time.Now()
 	s.cfg.Metrics.IncInflight()
@@ -245,37 +311,24 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 		jsonError(w, http.StatusNotFound, "unknown model %q", name)
 		return http.StatusNotFound, 0
 	}
-	var req scoreRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			// MaxBytesReader has already stopped reading; answering with
-			// a JSON 413 instead of letting the decode error surface as a
-			// 400 (or the connection reset a bare MaxBytesHandler gives).
-			jsonError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", tooBig.Limit)
-			return http.StatusRequestEntityTooLarge, 0
-		}
-		jsonError(w, http.StatusBadRequest, "decode body: %v", err)
-		return http.StatusBadRequest, 0
-	}
-	ds := fda.Dataset{Samples: make([]fda.Sample, len(req.Samples))}
-	for i, sm := range req.Samples {
-		ds.Samples[i] = fda.Sample{Times: sm.Times, Values: sm.Values}
+	ds, explain, code := s.decodeScoreBody(w, r)
+	if code != 0 {
+		return code, len(ds.Samples)
 	}
 	// Sanitize before any numeric work: NaN/Inf samples, ragged or empty
-	// grids and oversized requests never reach the smoothing layer.
+	// grids and oversized requests never reach the smoothing layer. Both
+	// codecs pass through here — the binary decoder checks frame shape,
+	// not curve invariants.
 	if verr := sanitizeDataset(ds, s.cfg.MaxSamples, s.cfg.MaxPoints); verr != nil {
 		jsonError(w, http.StatusBadRequest, "%v", verr)
-		return http.StatusBadRequest, len(req.Samples)
+		return http.StatusBadRequest, len(ds.Samples)
 	}
 	timeout := s.cfg.Timeout
 	if qs := r.URL.Query().Get("timeout"); qs != "" {
 		d, err := time.ParseDuration(qs)
 		if err != nil || d <= 0 {
 			jsonError(w, http.StatusBadRequest, "bad timeout %q", qs)
-			return http.StatusBadRequest, len(req.Samples)
+			return http.StatusBadRequest, len(ds.Samples)
 		}
 		if d < timeout {
 			timeout = d
@@ -283,23 +336,23 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	job, err := s.cfg.Pool.Enqueue(ctx, m, ds, req.Explain)
+	job, err := s.cfg.Pool.Enqueue(ctx, m, ds, explain)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		jsonError(w, http.StatusTooManyRequests, "scoring queue full, retry later")
-		return http.StatusTooManyRequests, len(req.Samples)
+		return http.StatusTooManyRequests, len(ds.Samples)
 	case errors.Is(err, ErrPoolClosed):
 		jsonError(w, http.StatusServiceUnavailable, "server shutting down")
-		return http.StatusServiceUnavailable, len(req.Samples)
+		return http.StatusServiceUnavailable, len(ds.Samples)
 	case err != nil:
 		jsonError(w, http.StatusInternalServerError, "enqueue: %v", err)
-		return http.StatusInternalServerError, len(req.Samples)
+		return http.StatusInternalServerError, len(ds.Samples)
 	}
 	res, done := job.Wait(ctx)
 	if !done || errors.Is(res.Err, context.DeadlineExceeded) {
 		jsonError(w, http.StatusGatewayTimeout, "scoring did not finish within %v", timeout)
-		return http.StatusGatewayTimeout, len(req.Samples)
+		return http.StatusGatewayTimeout, len(ds.Samples)
 	}
 	if res.Err != nil {
 		code := http.StatusInternalServerError
@@ -310,7 +363,7 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 			code = http.StatusUnprocessableEntity
 		}
 		jsonError(w, code, "score: %v", res.Err)
-		return code, len(req.Samples)
+		return code, len(ds.Samples)
 	}
 	resp := scoreResponse{
 		Model:     name,
@@ -328,7 +381,7 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 		}
 	}
 	writeJSON(w, resp)
-	return http.StatusOK, len(req.Samples)
+	return http.StatusOK, len(ds.Samples)
 }
 
 func (s *Server) log(r *http.Request, model string, code int, start time.Time, samples int) {

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fda"
+)
+
+// randomDataset draws a structurally valid dataset with rng-chosen
+// shapes, including awkward ones (single point, single parameter).
+func randomDataset(rng *rand.Rand) fda.Dataset {
+	n := 1 + rng.Intn(6)
+	ds := fda.Dataset{Samples: make([]fda.Sample, n)}
+	for i := range ds.Samples {
+		m := 1 + rng.Intn(12)
+		p := 1 + rng.Intn(4)
+		s := fda.Sample{Times: make([]float64, m), Values: make([][]float64, p)}
+		t := rng.Float64()
+		for j := range s.Times {
+			s.Times[j] = t
+			t += 0.01 + rng.Float64()
+		}
+		for k := range s.Values {
+			s.Values[k] = make([]float64, m)
+			for j := range s.Values[k] {
+				s.Values[k][j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+		}
+		ds.Samples[i] = s
+	}
+	return ds
+}
+
+func datasetsEqual(a, b fda.Dataset) bool {
+	if len(a.Samples) != len(b.Samples) {
+		return false
+	}
+	for i := range a.Samples {
+		x, y := a.Samples[i], b.Samples[i]
+		if len(x.Times) != len(y.Times) || len(x.Values) != len(y.Values) {
+			return false
+		}
+		for j := range x.Times {
+			if math.Float64bits(x.Times[j]) != math.Float64bits(y.Times[j]) {
+				return false
+			}
+		}
+		for k := range x.Values {
+			if len(x.Values[k]) != len(y.Values[k]) {
+				return false
+			}
+			for j := range x.Values[k] {
+				if math.Float64bits(x.Values[k][j]) != math.Float64bits(y.Values[k][j]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestRoundTripProperty: encode→decode is the bitwise identity on random
+// datasets, and the encoded size matches EncodedSize exactly.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		ds := randomDataset(rng)
+		explain := rng.Intn(4)
+		frame := EncodeRequest(Request{Dataset: ds, Explain: explain})
+		if len(frame) != EncodedSize(ds) {
+			t.Fatalf("trial %d: frame is %d bytes, EncodedSize says %d", trial, len(frame), EncodedSize(ds))
+		}
+		got, err := DecodeRequest(frame)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if got.Explain != explain {
+			t.Fatalf("trial %d: explain %d != %d", trial, got.Explain, explain)
+		}
+		if !datasetsEqual(got.Dataset, ds) {
+			t.Fatalf("trial %d: dataset did not round-trip", trial)
+		}
+	}
+}
+
+// TestJSONBinaryEquivalence: the binary frame and the dataset-JSON body
+// describe the same curves — decoding one and re-encoding through the
+// other representation is lossless for every exactly-representable
+// value, and the binary frame is less than half the JSON size on the
+// repository's own generated traffic.
+func TestJSONBinaryEquivalence(t *testing.T) {
+	d, err := dataset.ECGBivariate(dataset.ECGOptions{N: 40, Points: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Labels = nil // labels never ride the scoring wire
+
+	var jsonBody bytes.Buffer
+	if err := dataset.WriteJSON(&jsonBody, d); err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := dataset.ReadJSON(bytes.NewReader(jsonBody.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWire, err := DecodeRequest(EncodeRequest(Request{Dataset: d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !datasetsEqual(viaJSON, viaWire.Dataset) {
+		t.Fatal("JSON and binary round trips disagree")
+	}
+	if ratio := float64(EncodedSize(d)) / float64(jsonBody.Len()); ratio > 0.5 {
+		t.Fatalf("binary frame is %.0f%% of JSON, want <= 50%%", 100*ratio)
+	}
+}
+
+// TestDecodeErrors: every malformed-frame class errors with ErrWire and
+// never panics.
+func TestDecodeErrors(t *testing.T) {
+	ds := fda.Dataset{Samples: []fda.Sample{{
+		Times:  []float64{0, 1, 2},
+		Values: [][]float64{{1, 2, 3}, {4, 5, 6}},
+	}}}
+	good := EncodeRequest(Request{Dataset: ds, Explain: 2})
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		frame := mutate(append([]byte(nil), good...))
+		if _, err := DecodeRequest(frame); !errors.Is(err, ErrWire) {
+			t.Fatalf("%s: err = %v, want ErrWire", name, err)
+		}
+	}
+	corrupt("empty", func(b []byte) []byte { return nil })
+	corrupt("short header", func(b []byte) []byte { return b[:headerSize-1] })
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("future version", func(b []byte) []byte { b[4] = Version + 1; return b })
+	corrupt("dirty reserved", func(b []byte) []byte { b[5] = 1; return b })
+	corrupt("truncated mid-column", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("trailing garbage", func(b []byte) []byte { return append(b, 0xFF) })
+	corrupt("sample count lies", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:16], 1<<30)
+		return b
+	})
+	corrupt("points length lies", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[headerSize:], 1<<31)
+		return b
+	})
+	corrupt("params length lies", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[headerSize+4:], 1<<31)
+		return b
+	})
+	corrupt("zero points nonzero params", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[headerSize:], 0)
+		return b
+	})
+}
+
+// TestDecodeOverAllocationGuard: a frame whose prefixes promise huge
+// columns must be rejected by arithmetic on the remaining bytes, before
+// any column allocation happens. A 64-byte frame claiming 2^31 points
+// would otherwise try to allocate 16 GiB.
+func TestDecodeOverAllocationGuard(t *testing.T) {
+	frame := make([]byte, 0, 64)
+	frame = append(frame, magic[:]...)
+	frame = append(frame, Version, 0, 0, 0)
+	frame = binary.LittleEndian.AppendUint32(frame, 0) // explain
+	frame = binary.LittleEndian.AppendUint32(frame, 1) // one sample
+	frame = binary.LittleEndian.AppendUint32(frame, 1<<31-1)
+	frame = binary.LittleEndian.AppendUint32(frame, 1<<31-1)
+	frame = append(frame, make([]byte, 40)...)
+	if _, err := DecodeRequest(frame); !errors.Is(err, ErrWire) {
+		t.Fatalf("err = %v, want ErrWire", err)
+	}
+}
+
+// TestExplainNegativeClamped: a negative explain count encodes as 0, not
+// as a 4-billion explanation request.
+func TestExplainNegativeClamped(t *testing.T) {
+	ds := fda.Dataset{Samples: []fda.Sample{{Times: []float64{0}, Values: [][]float64{{1}}}}}
+	got, err := DecodeRequest(EncodeRequest(Request{Dataset: ds, Explain: -3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Explain != 0 {
+		t.Fatalf("explain = %d, want 0", got.Explain)
+	}
+}
+
+// TestSpecialFloatsSurviveTheWire: NaN and ±Inf are rejected later by
+// the serving sanitizer, but the codec itself must carry them bitwise —
+// a transport that silently rewrites payloads is untrustworthy.
+func TestSpecialFloatsSurviveTheWire(t *testing.T) {
+	ds := fda.Dataset{Samples: []fda.Sample{{
+		Times:  []float64{0, 1, 2},
+		Values: [][]float64{{math.NaN(), math.Inf(1), math.Inf(-1)}},
+	}}}
+	got, err := DecodeRequest(EncodeRequest(Request{Dataset: ds}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !datasetsEqual(got.Dataset, ds) {
+		t.Fatal("special float values did not survive bitwise")
+	}
+}
+
+// FuzzWireDecode: the decoder must never panic and never allocate past
+// the frame's own size class, whatever the bytes. Valid decodes must
+// re-encode to the identical frame (canonical encoding).
+func FuzzWireDecode(f *testing.F) {
+	ds := fda.Dataset{Samples: []fda.Sample{
+		{Times: []float64{0, 0.5, 1}, Values: [][]float64{{1, 2, 3}, {4, 5, 6}}},
+		{Times: []float64{2}, Values: [][]float64{{7}}},
+	}}
+	f.Add(EncodeRequest(Request{Dataset: ds, Explain: 1}))
+	f.Add([]byte("MFW\x00"))
+	f.Add([]byte(`{"samples":[]}`))
+	f.Add(make([]byte, headerSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrWire) {
+				t.Fatalf("non-ErrWire failure: %v", err)
+			}
+			return
+		}
+		// A frame that decoded must be the canonical encoding of what it
+		// decoded to: re-encoding reproduces the input bytes exactly.
+		if re := EncodeRequest(req); !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode is not the identity on a valid %d-byte frame", len(data))
+		}
+	})
+}
+
+// TestEncodedSizeMatchesJSONBaseline pins the byte-accounting helpers
+// used by mfodload's report: the JSON size is measured by actually
+// marshalling, so keep the comparison shape compiling here.
+func TestEncodedSizeMatchesJSONBaseline(t *testing.T) {
+	ds := fda.Dataset{Samples: []fda.Sample{{Times: []float64{0, 1}, Values: [][]float64{{1.5, -2.25}}}}}
+	j, err := json.Marshal(map[string]any{"samples": []map[string]any{{
+		"times": ds.Samples[0].Times, "values": ds.Samples[0].Values,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EncodedSize(ds) <= 0 || len(j) <= 0 {
+		t.Fatal("size helpers must be positive")
+	}
+}
