@@ -1,0 +1,50 @@
+package gate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestClientPruneOnFleetChurn: replica clients for names a topology
+// reload removed are dropped on the next cache miss, so replica name
+// churn cannot grow the per-replica client map without bound — while
+// clients for replicas that stayed keep their breaker state.
+func TestClientPruneOnFleetChurn(t *testing.T) {
+	writeTopo := func(path, body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "topology.json")
+	writeTopo(path, `{"replicas":[{"name":"r1","url":"http://127.0.0.1:1"},{"name":"r2","url":"http://127.0.0.1:2"}]}`)
+	table, err := LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := g.client("r1")
+	g.client("r2")
+
+	writeTopo(path, `{"replicas":[{"name":"r1","url":"http://127.0.0.1:1"},{"name":"r9","url":"http://127.0.0.1:9"}]}`)
+	if err := table.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	g.client("r9") // cache miss triggers the prune
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.clients["r2"]; ok {
+		t.Fatal("client for removed replica r2 survived the reload")
+	}
+	if g.clients["r1"] != r1 {
+		t.Fatal("client for surviving replica r1 was not preserved across the reload")
+	}
+	if len(g.clients) != 2 {
+		t.Fatalf("client map has %d entries, want 2 (r1, r9)", len(g.clients))
+	}
+}

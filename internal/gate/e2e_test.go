@@ -353,6 +353,19 @@ func TestGateEndToEnd(t *testing.T) {
 	}
 }
 
+// TestGateRejectsRaggedJSON: a JSON body whose value columns disagree
+// with times in length must 400 at the gate instead of transcoding into
+// a misaligned wire frame the replica would decode into well-shaped but
+// wrong curves.
+func TestGateRejectsRaggedJSON(t *testing.T) {
+	modelPath, _ := fitModelFile(t)
+	h := bootGate(t, modelPath)
+	ragged := []byte(`{"samples":[{"times":[0,1,2],"values":[[1,2,3],[4,5]]}]}`)
+	if _, code, raw := tryScores(t, h.base, "m0", "application/json", ragged); code != http.StatusBadRequest {
+		t.Fatalf("ragged body scored with %d (%s), want 400", code, raw)
+	}
+}
+
 // TestGateOperationalEndpoints covers the non-scoring surface.
 func TestGateOperationalEndpoints(t *testing.T) {
 	modelPath, _ := fitModelFile(t)

@@ -121,6 +121,15 @@ func (g *Gate) client(name string) *resilience.Client {
 	if c, ok := g.clients[name]; ok {
 		return c
 	}
+	// A miss means the fleet changed since this map was last filled;
+	// drop clients for replicas a topology reload removed, so replica
+	// name churn cannot grow the map without bound over a gate's life.
+	urls := g.cfg.Table.Fleet().urls
+	for n := range g.clients {
+		if _, live := urls[n]; !live {
+			delete(g.clients, n)
+		}
+	}
 	c := &resilience.Client{
 		HTTP:        g.cfg.Client,
 		MaxAttempts: g.cfg.Attempts,
@@ -355,6 +364,17 @@ func (g *Gate) inboundBody(w http.ResponseWriter, r *http.Request) (body []byte,
 	}
 	ds := fda.Dataset{Samples: make([]fda.Sample, len(req.Samples))}
 	for i, sm := range req.Samples {
+		// The wire frame writes len(times) as the length prefix of every
+		// column, so a ragged sample would encode to a misaligned frame
+		// the replica decodes into well-shaped but wrong curves. Reject
+		// it here with the 400 a direct-to-replica sanitizer would give.
+		for k, col := range sm.Values {
+			if len(col) != len(sm.Times) {
+				jsonError(w, http.StatusBadRequest,
+					"sample %d: values[%d] has %d points but times has %d", i, k, len(col), len(sm.Times))
+				return nil, "", http.StatusBadRequest
+			}
+		}
 		ds.Samples[i] = fda.Sample{Times: sm.Times, Values: sm.Values}
 	}
 	return wire.EncodeRequest(wire.Request{Dataset: ds, Explain: req.Explain}), "wire", 0

@@ -2,6 +2,7 @@ package gate
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -112,6 +113,9 @@ func (h *Health) probeOne(client *http.Client, url string, timeout time.Duration
 	if err != nil {
 		return false
 	}
+	// Drain before closing so the keep-alive connection is reusable;
+	// otherwise every probe round dials each replica afresh.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
 	resp.Body.Close()
 	return resp.StatusCode == http.StatusOK
 }

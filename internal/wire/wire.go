@@ -179,8 +179,9 @@ func decodeSample(data []byte, idx int) (fda.Sample, int, error) {
 	p := binary.LittleEndian.Uint32(data[4:8])
 	body := uint64(len(data) - 8)
 	// 8*m*(1+p) bytes of columns must be present; do the comparison in
-	// the division domain so a huge m×p cannot overflow the check.
-	if m > 0 && (uint64(m) > body/8 || uint64(1+p) > body/8/uint64(m)) {
+	// the division domain so a huge m×p cannot overflow the check, and
+	// compute 1+p in uint64 so p=0xFFFFFFFF cannot wrap it to zero.
+	if m > 0 && (uint64(m) > body/8 || uint64(p)+1 > body/8/uint64(m)) {
 		return fda.Sample{}, 0, errf("sample %d: %d points × %d parameters exceed the %d remaining bytes", idx, m, p, body)
 	}
 	if m == 0 && p > 0 {

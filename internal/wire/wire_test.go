@@ -181,6 +181,28 @@ func TestDecodeOverAllocationGuard(t *testing.T) {
 	}
 }
 
+// hostileParamsFrame is the minimal 32-byte frame whose sample claims
+// m=1, p=0xFFFFFFFF: computing 1+p in uint32 wraps to 0 and would slip
+// past the bounds check, reaching a ~96 GiB [][]float64 allocation.
+func hostileParamsFrame() []byte {
+	frame := append([]byte(nil), magic[:]...)
+	frame = append(frame, Version, 0, 0, 0)
+	frame = binary.LittleEndian.AppendUint32(frame, 0)          // explain
+	frame = binary.LittleEndian.AppendUint32(frame, 1)          // one sample
+	frame = binary.LittleEndian.AppendUint32(frame, 1)          // m = 1
+	frame = binary.LittleEndian.AppendUint32(frame, 0xFFFFFFFF) // p wraps 1+p in uint32
+	return append(frame, make([]byte, 8)...)                    // the single times value
+}
+
+// TestDecodeParamsOverflowGuard: the p=0xFFFFFFFF frame must be
+// rejected by uint64 arithmetic, not wrap the 1+p term to zero and
+// over-allocate (regression for the uint32 overflow in decodeSample).
+func TestDecodeParamsOverflowGuard(t *testing.T) {
+	if _, err := DecodeRequest(hostileParamsFrame()); !errors.Is(err, ErrWire) {
+		t.Fatalf("err = %v, want ErrWire", err)
+	}
+}
+
 // TestExplainNegativeClamped: a negative explain count encodes as 0, not
 // as a 4-billion explanation request.
 func TestExplainNegativeClamped(t *testing.T) {
@@ -223,6 +245,7 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte("MFW\x00"))
 	f.Add([]byte(`{"samples":[]}`))
 	f.Add(make([]byte, headerSize))
+	f.Add(hostileParamsFrame())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(data)
 		if err != nil {
