@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve fuzz check
+.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve bench-slo fuzz check
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,17 @@ bench-hotpath:
 # any client-visible error. CI archives the report.
 bench-serve:
 	$(GO) run ./cmd/mfodload -self 3 -rps 150 -duration 10s -o BENCH_serve.json
+
+# SLO chaos harness: mfodload drives the hermetic fleet through scripted
+# scenarios — baseline, an injected-latency replica, a 2x overload
+# burst, a replica kill — each request carrying a real client deadline
+# propagated via X-Mfod-Deadline-Ms. Writes BENCH_slo.json and fails
+# when goodput drops below the floor, when overload yields anything
+# worse than a 429, or when the fleet wastes work on dead deadlines.
+# Runs under the race detector: the scenarios are concurrency chaos.
+bench-slo:
+	$(GO) run -race ./cmd/mfodload -slo -self 3 -rps 100 -duration 3s \
+		-slo-min-goodput 0.9 -slo-max-wasted 0 -o BENCH_slo.json
 
 # 30-second fuzz smoke on the B-spline evaluator (knot-boundary and
 # derivative edge cases); the corpus lives in internal/bspline/testdata.

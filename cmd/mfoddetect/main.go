@@ -292,7 +292,7 @@ func runRemote(o options) error {
 		HTTP:        &http.Client{Timeout: o.remoteTimeout},
 		MaxAttempts: o.remoteAttempts,
 		Backoff:     &resilience.Backoff{Base: o.remoteBackoff, Seed: o.seed},
-		Budget:      resilience.NewBudget(0, 0),
+		RetryBudget: resilience.NewRetryBudget(0, 0),
 		Breaker:     resilience.NewBreaker(o.remoteBreaker, time.Second),
 	}
 	url := strings.TrimSuffix(o.remote, "/") + "/v1/models/" + o.remoteModel + ":score"

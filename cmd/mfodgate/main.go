@@ -11,9 +11,10 @@
 //
 //	mfodgate -topology topology.json [-addr :9090]
 //	         [-hedge 50ms] [-timeout 30s] [-watch 1s]
-//	         [-health-interval 2s] [-health-threshold 2]
+//	         [-health-interval 2s] [-health-threshold 2] [-health-jitter 0.1]
 //	         [-attempts 2] [-breaker-threshold 5] [-breaker-cooldown 1s]
-//	         [-max-body 33554432] [-json-upstream] [-quiet]
+//	         [-brownout-window 5s] [-brownout-enter 0.3] [-brownout-exit 0.1]
+//	         [-slow-after 0] [-max-body 33554432] [-json-upstream] [-quiet]
 //
 // Endpoints (a drop-in superset of one replica's surface):
 //
@@ -56,9 +57,14 @@ type gateOptions struct {
 	watch            time.Duration
 	healthInterval   time.Duration
 	healthThreshold  int
+	healthJitter     float64
 	attempts         int
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	brownoutWindow   time.Duration
+	brownoutEnter    float64
+	brownoutExit     float64
+	slowAfter        time.Duration
 	maxBody          int64
 	jsonUpstream     bool
 	quiet            bool
@@ -75,9 +81,14 @@ func main() {
 	flag.DurationVar(&o.watch, "watch", time.Second, "topology file poll interval")
 	flag.DurationVar(&o.healthInterval, "health-interval", 2*time.Second, "replica health-probe interval")
 	flag.IntVar(&o.healthThreshold, "health-threshold", 2, "consecutive probe failures that mark a replica down")
+	flag.Float64Var(&o.healthJitter, "health-jitter", 0.1, "probe-interval jitter fraction (desynchronizes co-started gates; negative disables)")
 	flag.IntVar(&o.attempts, "attempts", 2, "per-leg upstream attempts (retry stays shallow; the hedge owns availability)")
 	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive leg failures that open a replica's circuit")
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", time.Second, "open-circuit probe interval")
+	flag.DurationVar(&o.brownoutWindow, "brownout-window", 5*time.Second, "sliding window of the overload detector")
+	flag.Float64Var(&o.brownoutEnter, "brownout-enter", 0.3, "bad-outcome fraction that enters brownout (hedges suppressed)")
+	flag.Float64Var(&o.brownoutExit, "brownout-exit", 0.1, "bad-outcome fraction below which brownout exits")
+	flag.DurationVar(&o.slowAfter, "slow-after", 0, "latency counted as a bad outcome by the brownout window (0 = timeout/2)")
 	flag.Int64Var(&o.maxBody, "max-body", 0, "request-body byte cap, exceeded => JSON 413 (0 = 32 MiB)")
 	flag.BoolVar(&o.jsonUpstream, "json-upstream", false, "forward JSON bodies as-is instead of transcoding to the binary wire codec")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress request logging")
@@ -121,11 +132,23 @@ func run(o gateOptions) error {
 	health := &gate.Health{
 		Interval:  o.healthInterval,
 		Threshold: o.healthThreshold,
+		Jitter:    o.healthJitter,
 		OnChange: func(replica string, up bool) {
 			logger.Info("replica health changed", "replica", replica, "up", up)
 		},
 	}
 	health.Run(table, stop)
+
+	slowAfter := o.slowAfter
+	if slowAfter <= 0 {
+		slowAfter = o.timeout / 2
+	}
+	brownout := gate.NewBrownout(gate.BrownoutOptions{
+		Window:       o.brownoutWindow,
+		EnterBadRate: o.brownoutEnter,
+		ExitBadRate:  o.brownoutExit,
+		SlowAfter:    slowAfter,
+	})
 
 	g, err := gate.New(gate.Config{
 		Table:            table,
@@ -139,6 +162,7 @@ func run(o gateOptions) error {
 		BreakerThreshold: o.breakerThreshold,
 		BreakerCooldown:  o.breakerCooldown,
 		JSONUpstream:     o.jsonUpstream,
+		Brownout:         brownout,
 	})
 	if err != nil {
 		return err

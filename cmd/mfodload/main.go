@@ -17,6 +17,14 @@
 // small pipeline, boots N in-process mfodserve replicas plus an mfodgate
 // over them, and load-tests that — the hermetic mode `make bench-serve`
 // and CI use.
+//
+// -slo switches to the SLO chaos harness (requires -self): scripted
+// scenarios — baseline, a latency-faulted primary, a 2x overload burst,
+// a replica kill — each request carrying a -deadline budget propagated
+// via X-Mfod-Deadline-Ms. Writes per-scenario goodput/shed/p99 plus
+// fleet-wide wasted work to BENCH_slo.json and exits nonzero when
+// -slo-min-goodput or -slo-max-wasted is violated; `make bench-slo`
+// runs it under the race detector.
 package main
 
 import (
@@ -34,7 +42,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +53,7 @@ import (
 	"repro/internal/gate"
 	"repro/internal/geometry"
 	"repro/internal/iforest"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/wire"
 )
@@ -58,6 +69,13 @@ type loadOptions struct {
 	concurrency int
 	batch       int
 	out         string
+
+	// SLO chaos-harness mode (-slo): scripted scenarios over the
+	// hermetic -self fleet, gated on goodput and wasted work.
+	slo           bool
+	deadline      time.Duration
+	sloMinGoodput float64
+	sloMaxWasted  int
 }
 
 func main() {
@@ -68,11 +86,22 @@ func main() {
 	flag.StringVar(&o.replay, "replay", "", "mfodgen -json document to replay (required with -url)")
 	flag.StringVar(&o.codec, "codec", "wire", "request encoding: wire or json")
 	flag.Float64Var(&o.rps, "rps", 100, "target requests per second")
-	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to drive load")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to drive load (per scenario with -slo)")
 	flag.IntVar(&o.concurrency, "concurrency", 32, "max in-flight requests; ticks beyond it are shed and reported")
 	flag.IntVar(&o.batch, "batch", 4, "curves per scoring request")
-	flag.StringVar(&o.out, "o", "BENCH_serve.json", "report path (- = stdout)")
+	flag.StringVar(&o.out, "o", "BENCH_serve.json", "report path (- = stdout; BENCH_slo.json default with -slo)")
+	flag.BoolVar(&o.slo, "slo", false, "run the scripted SLO chaos scenarios against the -self fleet instead of a plain load run")
+	flag.DurationVar(&o.deadline, "deadline", 500*time.Millisecond, "per-request client deadline in -slo mode, propagated via "+resilience.DeadlineHeader)
+	flag.Float64Var(&o.sloMinGoodput, "slo-min-goodput", 0.9, "fail the -slo run when any non-overload scenario's goodput drops below this")
+	flag.IntVar(&o.sloMaxWasted, "slo-max-wasted", 0, "fail the -slo run when fleet-wide wasted work exceeds this (-1 disables)")
 	flag.Parse()
+	if o.slo {
+		if err := runSLO(o); err != nil {
+			fmt.Fprintln(os.Stderr, "mfodload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mfodload:", err)
 		os.Exit(1)
@@ -115,11 +144,12 @@ func run(o loadOptions) error {
 	base := o.url
 	switch {
 	case o.selfFleet > 0:
-		var err error
-		base, d, err = bootSelfFleet(o.selfFleet, o.model)
+		fleet, err := bootSelfFleet(o.selfFleet, o.model,
+			serve.PoolOptions{QueueCap: 256}, 500*time.Millisecond)
 		if err != nil {
 			return err
 		}
+		base, d = fleet.base, fleet.d
 	case o.url != "":
 		if o.replay == "" {
 			return errors.New("-url needs -replay (an `mfodgen -json` document)")
@@ -337,14 +367,71 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[rank]
 }
 
+// selfReplica is one in-process mfodserve of the hermetic fleet, with
+// the chaos controls the SLO harness scripts against: an injectable
+// scoring latency and a graceful kill.
+type selfReplica struct {
+	name string
+	url  string
+	srv  *http.Server
+	pool *serve.Pool
+	// slowNs is extra latency (nanoseconds) injected in front of :score.
+	slowNs atomic.Int64
+}
+
+// Slow sets the injected pre-scoring latency (0 clears it).
+func (r *selfReplica) Slow(d time.Duration) { r.slowNs.Store(int64(d)) }
+
+// Kill shuts the replica's HTTP server down: the listener closes at
+// once (new connections are refused — the gate sees a dead replica),
+// in-flight requests get a short grace so a kill does not manufacture
+// wasted work the scenario never caused.
+func (r *selfReplica) Kill() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	r.srv.Shutdown(ctx)
+}
+
+// selfFleet is the hermetic serving tier: n replicas behind a gate.
+type selfFleet struct {
+	base     string // gate base URL
+	d        fda.Dataset
+	replicas []*selfReplica
+}
+
+// replica returns the fleet member with the given topology name.
+func (f *selfFleet) replica(name string) *selfReplica {
+	for _, r := range f.replicas {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// wasted and evicted sum the pool counters across the fleet.
+func (f *selfFleet) wasted() (n uint64) {
+	for _, r := range f.replicas {
+		n += r.pool.Wasted()
+	}
+	return n
+}
+
+func (f *selfFleet) evicted() (n uint64) {
+	for _, r := range f.replicas {
+		n += r.pool.Evicted()
+	}
+	return n
+}
+
 // bootSelfFleet fits a small pipeline, boots n in-process mfodserve
 // replicas holding it under the given model name, wires an mfodgate
-// over them, and returns the gate's base URL plus curves to replay.
-// The servers live for the process; mfodload exits when the run ends.
-func bootSelfFleet(n int, model string) (base string, d fda.Dataset, err error) {
-	d, err = dataset.ECGBivariate(dataset.ECGOptions{N: 40, Points: 60, Seed: 11})
+// over them, and returns the fleet handle plus curves to replay. The
+// servers live for the process; mfodload exits when the run ends.
+func bootSelfFleet(n int, model string, popt serve.PoolOptions, healthInterval time.Duration) (*selfFleet, error) {
+	d, err := dataset.ECGBivariate(dataset.ECGOptions{N: 40, Points: 60, Seed: 11})
 	if err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 	p := &core.Pipeline{
 		Smooth:      fda.Options{Dims: []int{10}, Lambdas: []float64{1e-6}},
@@ -353,80 +440,90 @@ func bootSelfFleet(n int, model string) (base string, d fda.Dataset, err error) 
 		Standardize: true,
 	}
 	if err := p.Fit(d); err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 	dir, err := os.MkdirTemp("", "mfodload")
 	if err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 	modelPath := filepath.Join(dir, "model.json")
 	f, err := os.Create(modelPath)
 	if err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 	if err := p.SaveJSON(f); err != nil {
 		f.Close()
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	fleet := &selfFleet{d: d}
 	topo := gate.Topology{VNodes: 64}
 	for i := 0; i < n; i++ {
 		reg := serve.NewRegistry()
 		if err := reg.Load(model, modelPath); err != nil {
-			return "", fda.Dataset{}, err
+			return nil, err
 		}
-		pool := serve.NewPool(serve.PoolOptions{QueueCap: 256})
+		pool := serve.NewPool(popt)
 		srv, err := serve.NewServer(serve.Config{Registry: reg, Pool: pool, Logger: quiet})
 		if err != nil {
-			return "", fda.Dataset{}, err
+			return nil, err
 		}
-		addr, err := serveOn(srv.Handler())
-		if err != nil {
-			return "", fda.Dataset{}, err
-		}
-		topo.Replicas = append(topo.Replicas, gate.Replica{
-			Name: fmt.Sprintf("self-%d", i),
-			URL:  "http://" + addr,
+		rep := &selfReplica{name: fmt.Sprintf("self-%d", i), pool: pool}
+		inner := srv.Handler()
+		wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if d := time.Duration(rep.slowNs.Load()); d > 0 && strings.HasSuffix(r.URL.Path, ":score") {
+				time.Sleep(d)
+			}
+			inner.ServeHTTP(w, r)
 		})
+		addr, hs, err := serveOn(wrapped)
+		if err != nil {
+			return nil, err
+		}
+		rep.url = "http://" + addr
+		rep.srv = hs
+		fleet.replicas = append(fleet.replicas, rep)
+		topo.Replicas = append(topo.Replicas, gate.Replica{Name: rep.name, URL: rep.url})
 	}
 	topoPath := filepath.Join(dir, "topology.json")
 	raw, err := json.Marshal(topo)
 	if err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 	if err := os.WriteFile(topoPath, raw, 0o644); err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
 	table, err := gate.LoadTable(topoPath)
 	if err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
-	health := &gate.Health{Interval: 500 * time.Millisecond}
+	health := &gate.Health{Interval: healthInterval}
 	health.Run(table, make(chan struct{}))
 	g, err := gate.New(gate.Config{Table: table, Health: health, Logger: quiet})
 	if err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
-	addr, err := serveOn(g.Handler())
+	addr, _, err := serveOn(g.Handler())
 	if err != nil {
-		return "", fda.Dataset{}, err
+		return nil, err
 	}
-	return "http://" + addr, d, nil
+	fleet.base = "http://" + addr
+	return fleet, nil
 }
 
 // serveOn binds a loopback listener and serves h on it for the life of
 // the process.
-func serveOn(h http.Handler) (addr string, err error) {
+func serveOn(h http.Handler) (addr string, srv *http.Server, err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	srv := &http.Server{Handler: h, BaseContext: func(net.Listener) context.Context { return context.Background() }}
+	srv = &http.Server{Handler: h, BaseContext: func(net.Listener) context.Context { return context.Background() }}
 	//mfodlint:allow poolmisuse self-fleet server goroutine: one accept loop per in-process replica of the hermetic bench mode, alive until the load run finishes and the process exits
 	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), srv, nil
 }

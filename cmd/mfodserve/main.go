@@ -9,6 +9,7 @@
 //	mfodserve -model ecg=model.json [-model other=o.json ...]
 //	          [-addr :8080] [-workers 8] [-queue 256] [-batch 16]
 //	          [-timeout 30s] [-max-body 33554432] [-quiet]
+//	          [-limit-max 256] [-limit-min 1] [-limit-target 250ms]
 //
 // Endpoints:
 //
@@ -65,16 +66,19 @@ func (m *modelFlags) Set(v string) error {
 // serveOptions collects every flag plus the test-only ready channel, so
 // tests can drive the binary without a process boundary.
 type serveOptions struct {
-	addr    string
-	models  []string
-	workers int
-	queue   int
-	batch   int
-	maxBody int64
-	timeout time.Duration
-	quiet   bool
-	faults  string        // MFOD_FAULTS spec, armed before serving
-	ready   chan<- string // tests only: receives the bound address
+	addr        string
+	models      []string
+	workers     int
+	queue       int
+	batch       int
+	maxBody     int64
+	timeout     time.Duration
+	limitMax    int
+	limitMin    int
+	limitTarget time.Duration
+	quiet       bool
+	faults      string        // MFOD_FAULTS spec, armed before serving
+	ready       chan<- string // tests only: receives the bound address
 }
 
 func main() {
@@ -86,6 +90,9 @@ func main() {
 	flag.IntVar(&o.batch, "batch", 16, "max jobs one worker drains per wake-up (micro-batch)")
 	flag.Int64Var(&o.maxBody, "max-body", 0, "request-body byte cap, exceeded => JSON 413 (0 = 32 MiB)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline (exceeded => 504)")
+	flag.IntVar(&o.limitMax, "limit-max", 0, "adaptive concurrency limit ceiling (AIMD); 0 disables the limiter")
+	flag.IntVar(&o.limitMin, "limit-min", 1, "adaptive concurrency limit floor")
+	flag.DurationVar(&o.limitTarget, "limit-target", 250*time.Millisecond, "latency above which the adaptive limit shrinks")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress request logging")
 	flag.Var(&models, "model", "name=path of a saved pipeline; repeatable")
 	flag.Parse()
@@ -133,12 +140,22 @@ func run(o serveOptions) error {
 		MaxBatch: o.batch,
 		Metrics:  metrics,
 	})
+	var limiter *serve.AIMD
+	if o.limitMax > 0 {
+		limiter = serve.NewAIMD(serve.AIMDOptions{
+			Min:    o.limitMin,
+			Max:    o.limitMax,
+			Target: o.limitTarget,
+		})
+		metrics.RegisterConcurrencyLimit(limiter.Limit)
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Registry:     registry,
 		Pool:         pool,
 		Metrics:      metrics,
 		Timeout:      o.timeout,
 		MaxBodyBytes: o.maxBody,
+		Limiter:      limiter,
 		Logger:       logger,
 	})
 	if err != nil {

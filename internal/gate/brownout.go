@@ -1,0 +1,179 @@
+package gate
+
+import (
+	"sync"
+	"time"
+)
+
+// BrownoutOptions tunes the overload detector.
+type BrownoutOptions struct {
+	// Window is the sliding observation span; 0 means 5s.
+	Window time.Duration
+	// Buckets is the ring granularity inside Window; 0 means 10.
+	Buckets int
+	// EnterBadRate is the bad-outcome fraction at which brownout
+	// activates; 0 means 0.3.
+	EnterBadRate float64
+	// ExitBadRate is the fraction below which brownout deactivates —
+	// kept well under EnterBadRate so the mode doesn't flap at the
+	// threshold; 0 means 0.1.
+	ExitBadRate float64
+	// MinSamples is the window population required before brownout can
+	// activate — a single failed request at startup is not an overload;
+	// 0 means 20.
+	MinSamples int
+	// SlowAfter counts a request slower than this as a bad outcome even
+	// when its status is fine — rising latency is the earliest overload
+	// signal; 0 disables the latency contribution.
+	SlowAfter time.Duration
+}
+
+// Brownout is a sliding-window overload detector for the gate: it
+// watches every scoring outcome (status code + latency) over the last
+// Window and, when the bad fraction crosses EnterBadRate, flips the
+// gate into brownout mode — speculative hedge legs are suppressed
+// (hedging doubles upstream load exactly when the fleet can least
+// afford it) and Retry-After hints scale with measured pressure. The
+// enter/exit thresholds are hysteretic so the mode latches instead of
+// flapping.
+//
+// The window is a ring of time buckets rotated lazily on access — no
+// background goroutine, no ticker to leak. All methods are safe for
+// concurrent use.
+type Brownout struct {
+	opt BrownoutOptions
+	now func() time.Time // injectable clock (tests)
+
+	mu       sync.Mutex
+	buckets  []brownoutBucket
+	cur      int
+	curStart time.Time
+	active   bool
+}
+
+type brownoutBucket struct {
+	reqs int
+	bad  int
+}
+
+// NewBrownout returns a detector with the given options; zero fields
+// take the documented defaults.
+func NewBrownout(opt BrownoutOptions) *Brownout {
+	if opt.Window <= 0 {
+		opt.Window = 5 * time.Second
+	}
+	if opt.Buckets <= 0 {
+		opt.Buckets = 10
+	}
+	if opt.EnterBadRate <= 0 {
+		opt.EnterBadRate = 0.3
+	}
+	if opt.ExitBadRate <= 0 {
+		opt.ExitBadRate = 0.1
+	}
+	if opt.ExitBadRate > opt.EnterBadRate {
+		opt.ExitBadRate = opt.EnterBadRate
+	}
+	if opt.MinSamples <= 0 {
+		opt.MinSamples = 20
+	}
+	return &Brownout{
+		opt:     opt,
+		now:     time.Now,
+		buckets: make([]brownoutBucket, opt.Buckets),
+	}
+}
+
+// rotate advances the ring to the bucket owning now, clearing every
+// bucket it steps over. Called with mu held.
+func (b *Brownout) rotate(now time.Time) {
+	span := b.opt.Window / time.Duration(len(b.buckets))
+	if b.curStart.IsZero() {
+		b.curStart = now
+		return
+	}
+	if now.Sub(b.curStart) >= b.opt.Window+span {
+		// Idle longer than the whole window: everything is stale.
+		for i := range b.buckets {
+			b.buckets[i] = brownoutBucket{}
+		}
+		b.curStart = now
+		return
+	}
+	for now.Sub(b.curStart) >= span {
+		b.cur = (b.cur + 1) % len(b.buckets)
+		b.buckets[b.cur] = brownoutBucket{}
+		b.curStart = b.curStart.Add(span)
+	}
+}
+
+// totals sums the live window. Called with mu held.
+func (b *Brownout) totals() (reqs, bad int) {
+	for _, bk := range b.buckets {
+		reqs += bk.reqs
+		bad += bk.bad
+	}
+	return reqs, bad
+}
+
+// refresh re-evaluates the hysteretic active state. Called with mu held.
+func (b *Brownout) refresh() {
+	reqs, bad := b.totals()
+	if reqs == 0 {
+		// The window drained (no traffic): nothing left to brown out for.
+		b.active = false
+		return
+	}
+	rate := float64(bad) / float64(reqs)
+	if !b.active && reqs >= b.opt.MinSamples && rate >= b.opt.EnterBadRate {
+		b.active = true
+	} else if b.active && rate <= b.opt.ExitBadRate {
+		b.active = false
+	}
+}
+
+// Observe feeds one finished request into the window. Bad outcomes are
+// server-side failures (5xx), shed or relayed backpressure (429), and —
+// when SlowAfter is set — requests slower than SlowAfter.
+func (b *Brownout) Observe(code int, dur time.Duration) {
+	bad := code >= 500 || code == 429 ||
+		(b.opt.SlowAfter > 0 && dur > b.opt.SlowAfter)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rotate(b.now())
+	b.buckets[b.cur].reqs++
+	if bad {
+		b.buckets[b.cur].bad++
+	}
+	b.refresh()
+}
+
+// Active reports whether the gate is in brownout mode.
+func (b *Brownout) Active() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rotate(b.now())
+	b.refresh()
+	return b.active
+}
+
+// Pressure returns the bad-outcome fraction of the live window, in
+// [0, 1]; 0 with no traffic.
+func (b *Brownout) Pressure() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rotate(b.now())
+	reqs, bad := b.totals()
+	if reqs == 0 {
+		return 0
+	}
+	return float64(bad) / float64(reqs)
+}
+
+// RetryAfter derives a backoff hint, in whole seconds, from measured
+// pressure: 1s when healthy, scaling linearly to 10s at total failure.
+// Relayed 429/503 responses advertise at least this, so clients back
+// off harder exactly when the window says the fleet is hurting.
+func (b *Brownout) RetryAfter() int {
+	return 1 + int(b.Pressure()*9)
+}

@@ -1,0 +1,149 @@
+package gate
+
+import (
+	"testing"
+	"time"
+)
+
+// brownoutAt returns a detector with an injectable clock starting at a
+// fixed instant, plus a pointer to advance it.
+func brownoutAt(opt BrownoutOptions) (*Brownout, *time.Time) {
+	b := NewBrownout(opt)
+	clock := time.Unix(1000, 0)
+	b.now = func() time.Time { return clock }
+	return b, &clock
+}
+
+func TestBrownoutEnterExitHysteresis(t *testing.T) {
+	b, clock := brownoutAt(BrownoutOptions{
+		Window: time.Second, Buckets: 10,
+		EnterBadRate: 0.5, ExitBadRate: 0.2, MinSamples: 10,
+	})
+	// 10 requests, 6 bad: rate 0.6 ≥ enter threshold with enough samples.
+	for i := 0; i < 6; i++ {
+		b.Observe(503, 0)
+	}
+	for i := 0; i < 4; i++ {
+		b.Observe(200, 0)
+	}
+	if !b.Active() {
+		t.Fatalf("brownout not active at bad rate %.2f ≥ 0.5", b.Pressure())
+	}
+	// Healthy traffic dilutes the window but the mode latches until the
+	// rate drops below the *exit* threshold, not the enter one.
+	for i := 0; i < 10; i++ {
+		b.Observe(200, 0)
+	}
+	if !b.Active() { // 6/20 = 0.3: between exit (0.2) and enter (0.5)
+		t.Fatalf("brownout released at rate %.2f, above the exit threshold", b.Pressure())
+	}
+	for i := 0; i < 15; i++ {
+		b.Observe(200, 0)
+	}
+	if b.Active() { // 6/35 ≈ 0.17 ≤ 0.2
+		t.Fatalf("brownout still active at rate %.2f ≤ exit threshold", b.Pressure())
+	}
+	// Re-entering needs the full enter threshold again.
+	_ = clock
+}
+
+func TestBrownoutNeedsMinSamples(t *testing.T) {
+	b, _ := brownoutAt(BrownoutOptions{MinSamples: 20})
+	// Every request failing, but only 19 of them: startup noise, not
+	// overload.
+	for i := 0; i < 19; i++ {
+		b.Observe(500, 0)
+	}
+	if b.Active() {
+		t.Fatal("brownout tripped below MinSamples")
+	}
+	b.Observe(500, 0)
+	if !b.Active() {
+		t.Fatal("brownout not active at 100% bad with MinSamples reached")
+	}
+}
+
+func TestBrownoutWindowDecay(t *testing.T) {
+	b, clock := brownoutAt(BrownoutOptions{
+		Window: time.Second, Buckets: 10, MinSamples: 10,
+	})
+	for i := 0; i < 20; i++ {
+		b.Observe(429, 0)
+	}
+	if !b.Active() {
+		t.Fatal("brownout not active under pure backpressure")
+	}
+	// The whole window ages out: the detector forgets and deactivates
+	// even with zero new traffic.
+	*clock = clock.Add(3 * time.Second)
+	if b.Active() {
+		t.Fatal("brownout survived a drained window")
+	}
+	if got := b.Pressure(); got != 0 {
+		t.Fatalf("Pressure after decay = %v, want 0", got)
+	}
+}
+
+func TestBrownoutPartialRotationDropsOldBuckets(t *testing.T) {
+	b, clock := brownoutAt(BrownoutOptions{
+		Window: time.Second, Buckets: 10, MinSamples: 5,
+	})
+	for i := 0; i < 10; i++ {
+		b.Observe(500, 0)
+	}
+	// Step just over half the window, then add healthy traffic: the old
+	// bad buckets start rotating out as the ring advances.
+	*clock = clock.Add(600 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		b.Observe(200, 0)
+	}
+	p1 := b.Pressure()
+	*clock = clock.Add(500 * time.Millisecond) // old bad buckets now stale
+	p2 := b.Pressure()
+	if p2 >= p1 {
+		t.Fatalf("pressure did not fall as bad buckets aged out: %v → %v", p1, p2)
+	}
+	if p2 != 0 {
+		t.Fatalf("Pressure with only healthy traffic live = %v, want 0", p2)
+	}
+}
+
+func TestBrownoutSlowRequestsCount(t *testing.T) {
+	b, _ := brownoutAt(BrownoutOptions{SlowAfter: 100 * time.Millisecond, MinSamples: 5})
+	for i := 0; i < 10; i++ {
+		b.Observe(200, 500*time.Millisecond) // 200s, but far too slow
+	}
+	if !b.Active() {
+		t.Fatal("slow-but-successful traffic must trip brownout when SlowAfter is set")
+	}
+	c, _ := brownoutAt(BrownoutOptions{MinSamples: 5}) // SlowAfter off
+	for i := 0; i < 10; i++ {
+		c.Observe(200, 500 * time.Millisecond)
+	}
+	if c.Active() {
+		t.Fatal("latency must not count with SlowAfter disabled")
+	}
+}
+
+func TestBrownoutRetryAfterScalesWithPressure(t *testing.T) {
+	b, _ := brownoutAt(BrownoutOptions{MinSamples: 1})
+	if got := b.RetryAfter(); got != 1 {
+		t.Fatalf("RetryAfter with no traffic = %d, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(500, 0)
+	}
+	if got := b.RetryAfter(); got != 10 {
+		t.Fatalf("RetryAfter at total failure = %d, want 10", got)
+	}
+	c, _ := brownoutAt(BrownoutOptions{MinSamples: 1})
+	for i := 0; i < 5; i++ {
+		c.Observe(500, 0)
+	}
+	for i := 0; i < 5; i++ {
+		c.Observe(200, 0)
+	}
+	if got := c.RetryAfter(); got != 5 { // 1 + 0.5*9 = 5.5 → 5
+		t.Fatalf("RetryAfter at half pressure = %d, want 5", got)
+	}
+}

@@ -9,14 +9,22 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/fda"
 	"repro/internal/resilience"
 	"repro/internal/wire"
 )
+
+// FaultBudgetInbound is the fault-injection point hit while parsing the
+// inbound deadline header on every scoring request. Arming it with an
+// error makes the parse fail as if the header were malformed, so the
+// reject path is testable without crafting broken clients.
+const FaultBudgetInbound = "gate.budget.inbound"
 
 // Config wires a Gate together. Table is required; everything else has
 // serviceable defaults.
@@ -47,6 +55,10 @@ type Config struct {
 	// inbound JSON bodies, forwarding them byte-for-byte instead. Binary
 	// inbound bodies are always forwarded as-is.
 	JSONUpstream bool
+	// Brownout is the sliding-window overload detector driving hedge
+	// suppression and Retry-After derivation; nil means defaults with
+	// SlowAfter = Timeout/2.
+	Brownout *Brownout
 }
 
 // Gate is the scale-out front tier: it consistent-hash-shards model
@@ -66,7 +78,7 @@ type Config struct {
 type Gate struct {
 	cfg      Config
 	hedge    resilience.Hedge
-	budget   *resilience.Budget
+	budget   *resilience.RetryBudget
 	draining atomic.Bool
 
 	mu      sync.Mutex
@@ -93,10 +105,13 @@ func New(cfg Config) (*Gate, error) {
 	if cfg.Attempts <= 0 {
 		cfg.Attempts = 2
 	}
+	if cfg.Brownout == nil {
+		cfg.Brownout = NewBrownout(BrownoutOptions{SlowAfter: cfg.Timeout / 2})
+	}
 	g := &Gate{
 		cfg:     cfg,
 		hedge:   resilience.Hedge{Delay: cfg.HedgeDelay},
-		budget:  resilience.NewBudget(0, 0),
+		budget:  resilience.NewRetryBudget(0, 0),
 		clients: make(map[string]*resilience.Client),
 	}
 	if cfg.Metrics != nil {
@@ -104,6 +119,7 @@ func New(cfg Config) (*Gate, error) {
 			func() int { return g.cfg.Table.Fleet().ring.Len() },
 			cfg.Health.Snapshot,
 		)
+		cfg.Metrics.RegisterBrownout(cfg.Brownout.Active)
 	}
 	return g, nil
 }
@@ -134,7 +150,7 @@ func (g *Gate) client(name string) *resilience.Client {
 		HTTP:        g.cfg.Client,
 		MaxAttempts: g.cfg.Attempts,
 		Backoff:     &resilience.Backoff{Base: 25 * time.Millisecond, Max: 250 * time.Millisecond, Seed: 1},
-		Budget:      g.budget,
+		RetryBudget: g.budget,
 		Breaker:     resilience.NewBreaker(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown),
 	}
 	g.clients[name] = c
@@ -385,6 +401,7 @@ func (g *Gate) inboundBody(w http.ResponseWriter, r *http.Request) (body []byte,
 func (g *Gate) handleScore(w http.ResponseWriter, r *http.Request, model string) {
 	start := time.Now()
 	code := g.score(w, r, model)
+	g.cfg.Brownout.Observe(code, time.Since(start))
 	g.cfg.Metrics.ObserveRequest(model, code, time.Since(start).Seconds())
 	g.cfg.Logger.Info("request",
 		"method", r.Method, "path", r.URL.Path, "model", model, "code", code,
@@ -392,6 +409,28 @@ func (g *Gate) handleScore(w http.ResponseWriter, r *http.Request, model string)
 }
 
 func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
+	// Resolve the request's time budget before reading any body bytes: a
+	// caller that already gave up costs nothing, and a malformed header
+	// is the sender's bug to hear about immediately.
+	budget, berr := resilience.BudgetFromHeader(r.Header)
+	if ferr := faultinject.Hit(FaultBudgetInbound); ferr != nil {
+		budget, berr = nil, ferr
+	}
+	if berr != nil {
+		g.cfg.Metrics.ObserveDeadlineRejected()
+		jsonError(w, http.StatusBadRequest, "%v", berr)
+		return http.StatusBadRequest
+	}
+	if budget == nil {
+		// No propagated deadline: the gate's own timeout is the edge
+		// default, and downstream hops see it as their budget.
+		budget = resilience.NewBudget(g.cfg.Timeout)
+	}
+	if budget.Expired() {
+		g.cfg.Metrics.ObserveDeadlineExpired()
+		jsonError(w, http.StatusGatewayTimeout, "deadline in %s already expired", resilience.DeadlineHeader)
+		return http.StatusGatewayTimeout
+	}
 	body, codec, errCode := g.inboundBody(w, r)
 	if errCode != 0 {
 		return errCode
@@ -420,25 +459,66 @@ func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
 		}
 	}
 	var secondaryLeg func(ctx context.Context) (*http.Response, error)
+	suppressed := false
 	if secondary != "" {
 		secondaryLeg = leg(secondary)
+		if g.cfg.Brownout.Active() {
+			// Brownout: the speculative duplicate doubles upstream load
+			// exactly when the window says the fleet cannot absorb it, so
+			// the race drops to failover-only — the secondary still covers
+			// a primary that *fails*, it just no longer races one that is
+			// merely slow.
+			suppressed = true
+			g.cfg.Metrics.ObserveHedgeSuppressed()
+		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+	// The per-hop timeout is capped at the remaining budget: this hop
+	// never works past the moment the caller walks away. The budget
+	// rides the context so retry and hedge layers spend it honestly.
+	timeout := g.cfg.Timeout
+	if rem := budget.Remaining(); rem < timeout {
+		timeout = rem
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	resp, winner, err := g.hedge.Do(ctx, leg(primary), secondaryLeg)
+	ctx = resilience.WithBudget(ctx, budget)
+	race := g.hedge.Do
+	if suppressed {
+		race = g.hedge.DoFailoverOnly
+	}
+	resp, winner, err := race(ctx, leg(primary), secondaryLeg)
 	g.cfg.Metrics.ObserveHedge(winner == resilience.Secondary, winner.String())
 	if err != nil {
 		// Both legs failed (or the only leg did): the fleet could not
-		// answer. 504 on deadline, 502 otherwise.
-		if errors.Is(err, context.DeadlineExceeded) {
-			jsonError(w, http.StatusGatewayTimeout, "fleet did not answer within %v", g.cfg.Timeout)
+		// answer. 504 on a spent deadline or budget, 502 otherwise.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, resilience.ErrBudgetExhausted) {
+			g.cfg.Metrics.ObserveDeadlineExpired()
+			jsonError(w, http.StatusGatewayTimeout, "fleet did not answer within %v", timeout)
 			return http.StatusGatewayTimeout
 		}
 		jsonError(w, http.StatusBadGateway, "fleet error via %s: %v", primary, err)
 		return http.StatusBadGateway
 	}
-	relay(w, resp)
+	g.relayScore(w, resp)
 	return resp.StatusCode
+}
+
+// relayScore relays a replica's scoring answer. Backpressure responses
+// (429/503) get a Retry-After derived from the gate's own pressure
+// window when that is more conservative than the replica's hint — the
+// gate sees the whole fleet's distress, one replica only its own.
+func (g *Gate) relayScore(w http.ResponseWriter, resp *http.Response) {
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		hint := 0
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			hint = s
+		}
+		if derived := g.cfg.Brownout.RetryAfter(); derived > hint {
+			hint = derived
+		}
+		resp.Header.Set("Retry-After", strconv.Itoa(hint))
+	}
+	relay(w, resp)
 }
 
 // relay copies a replica response — status, content type, body — to the

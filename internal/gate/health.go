@@ -3,6 +3,7 @@ package gate
 import (
 	"context"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -31,6 +32,14 @@ type Health struct {
 	// OnChange, when non-nil, observes up/down transitions (logging,
 	// metrics). Called from the probe goroutine.
 	OnChange func(replica string, up bool)
+	// Jitter spreads each probe wait uniformly over
+	// [Interval·(1−Jitter), Interval·(1+Jitter)], so a fleet of gates
+	// booted together (a rolling restart, a load test) does not probe
+	// every replica in lockstep forever. 0 means 0.1; negative disables.
+	Jitter float64
+	// Seed makes the jitter sequence reproducible in tests; 0 seeds from
+	// the wall clock.
+	Seed int64
 
 	mu    sync.Mutex
 	fails map[string]int
@@ -120,25 +129,53 @@ func (h *Health) probeOne(client *http.Client, url string, timeout time.Duration
 	return resp.StatusCode == http.StatusOK
 }
 
-// Run probes the table's current fleet every Interval until stop is
-// closed. The first round runs immediately so a gate does not serve an
-// entire interval blind.
+// nextDelay returns the jittered wait before the next probe round.
+func (h *Health) nextDelay(interval time.Duration, rng *rand.Rand) time.Duration {
+	j := h.Jitter
+	if j == 0 {
+		j = 0.1
+	}
+	if j < 0 {
+		return interval
+	}
+	if j > 1 {
+		j = 1
+	}
+	// Uniform over [1−j, 1+j] of the interval.
+	f := 1 - j + 2*j*rng.Float64()
+	d := time.Duration(f * float64(interval))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Run probes the table's current fleet roughly every Interval — each
+// wait is jittered (see Jitter) so co-started probers desynchronize —
+// until stop is closed. The first round runs immediately so a gate does
+// not serve an entire interval blind.
 func (h *Health) Run(table *Table, stop <-chan struct{}) {
 	interval := h.Interval
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
+	seed := h.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	//mfodlint:allow poolmisuse replica health prober: a single long-lived goroutine per gate process, stopped via the stop channel on shutdown; verdicts cross to the routing path only through the mutex-guarded maps
 	go func() {
+		rng := rand.New(rand.NewSource(seed))
 		h.probe(table.Fleet())
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
+		timer := time.NewTimer(h.nextDelay(interval, rng))
+		defer timer.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-tick.C:
+			case <-timer.C:
 				h.probe(table.Fleet())
+				timer.Reset(h.nextDelay(interval, rng))
 			}
 		}
 	}()

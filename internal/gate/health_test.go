@@ -1,12 +1,14 @@
 package gate
 
 import (
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // tableFor builds a Table over live httptest replica URLs.
@@ -108,5 +110,59 @@ func TestHealthOnChange(t *testing.T) {
 	h.probe(table.Fleet()) // already down: no second transition
 	if len(changes) != 1 || changes[0] != (change{"dead", false}) {
 		t.Fatalf("changes = %v, want one down transition", changes)
+	}
+}
+
+// delays materializes a prober's first n jittered waits.
+func delays(h *Health, seed int64, interval time.Duration, n int) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = h.nextDelay(interval, rng)
+	}
+	return out
+}
+
+func TestHealthJitterDesynchronizesProbers(t *testing.T) {
+	const interval = 2 * time.Second
+	a := delays(&Health{}, 1, interval, 16)
+	b := delays(&Health{}, 2, interval, 16)
+
+	// Two gates booted in the same instant with different seeds must not
+	// probe in lockstep: their cumulative schedules drift apart.
+	identical := true
+	var sumA, sumB time.Duration
+	for i := range a {
+		if a[i] != b[i] {
+			identical = false
+		}
+		sumA += a[i]
+		sumB += b[i]
+		lo := time.Duration(0.9 * float64(interval))
+		hi := time.Duration(1.1 * float64(interval))
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("delay %v outside the default ±10%% band [%v, %v]", a[i], lo, hi)
+		}
+	}
+	if identical {
+		t.Fatal("different seeds produced identical probe schedules")
+	}
+	if sumA == sumB {
+		t.Fatal("probe schedules never drifted apart over 16 rounds")
+	}
+
+	// The same seed replays the same schedule — tests stay reproducible.
+	again := delays(&Health{}, 1, interval, 16)
+	for i := range a {
+		if a[i] != again[i] {
+			t.Fatalf("seeded schedule not reproducible at round %d: %v vs %v", i, a[i], again[i])
+		}
+	}
+
+	// Negative jitter turns the feature off: exact intervals.
+	for _, d := range delays(&Health{Jitter: -1}, 1, interval, 4) {
+		if d != interval {
+			t.Fatalf("Jitter<0 delay = %v, want exactly %v", d, interval)
+		}
 	}
 }

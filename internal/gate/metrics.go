@@ -39,6 +39,10 @@ type Metrics struct {
 	buckets  []uint64
 	latCount uint64
 	latSum   float64
+	// Deadline & overload accounting.
+	hedgesSuppressed uint64 // secondary legs skipped under brownout
+	deadlineRejected uint64 // malformed X-Mfod-Deadline-Ms headers (400)
+	deadlineExpired  uint64 // budgets already spent on arrival (504)
 	// upstreamBytes counts bytes forwarded to replicas per codec, so the
 	// gate's own JSON→wire transcoding savings are observable.
 	upstreamBytes map[string]uint64
@@ -46,6 +50,7 @@ type Metrics struct {
 	// scrape-time gauges, installed during wiring
 	healthDown func() map[string]bool
 	fleetSize  func() int
+	brownout   func() bool
 }
 
 // NewMetrics returns an empty gate metrics registry.
@@ -114,6 +119,47 @@ func (m *Metrics) ObserveUpstreamBytes(codec string, n int) {
 	m.mu.Lock()
 	m.upstreamBytes[codec] += uint64(n)
 	m.mu.Unlock()
+}
+
+// ObserveHedgeSuppressed counts one speculative secondary skipped
+// because the gate is in brownout mode.
+func (m *Metrics) ObserveHedgeSuppressed() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.hedgesSuppressed++
+	m.mu.Unlock()
+}
+
+// ObserveDeadlineRejected counts one request refused for a malformed
+// deadline header.
+func (m *Metrics) ObserveDeadlineRejected() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.deadlineRejected++
+	m.mu.Unlock()
+}
+
+// ObserveDeadlineExpired counts one request whose propagated budget was
+// already spent on arrival.
+func (m *Metrics) ObserveDeadlineExpired() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.deadlineExpired++
+	m.mu.Unlock()
+}
+
+// RegisterBrownout installs the scrape-time brownout gauge. Call once
+// during wiring.
+func (m *Metrics) RegisterBrownout(fn func() bool) {
+	if m != nil {
+		m.brownout = fn
+	}
 }
 
 // ObserveTopologyReload counts one successful topology hot-reload.
@@ -210,10 +256,31 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "mfodgate_upstream_bytes_total{codec=%q} %d\n", c, m.upstreamBytes[c])
 	}
 
+	fmt.Fprintln(w, "# HELP mfodgate_hedges_suppressed_total Speculative secondaries skipped under brownout.")
+	fmt.Fprintln(w, "# TYPE mfodgate_hedges_suppressed_total counter")
+	fmt.Fprintf(w, "mfodgate_hedges_suppressed_total %d\n", m.hedgesSuppressed)
+
+	fmt.Fprintln(w, "# HELP mfodgate_deadline_rejected_total Requests refused for malformed deadline headers.")
+	fmt.Fprintln(w, "# TYPE mfodgate_deadline_rejected_total counter")
+	fmt.Fprintf(w, "mfodgate_deadline_rejected_total %d\n", m.deadlineRejected)
+
+	fmt.Fprintln(w, "# HELP mfodgate_deadline_expired_total Requests whose propagated budget was spent on arrival.")
+	fmt.Fprintln(w, "# TYPE mfodgate_deadline_expired_total counter")
+	fmt.Fprintf(w, "mfodgate_deadline_expired_total %d\n", m.deadlineExpired)
+
 	fmt.Fprintln(w, "# HELP mfodgate_topology_reloads_total Successful topology hot-reloads.")
 	fmt.Fprintln(w, "# TYPE mfodgate_topology_reloads_total counter")
 	fmt.Fprintf(w, "mfodgate_topology_reloads_total %d\n", m.reloads)
 
+	if m.brownout != nil {
+		v := 0
+		if m.brownout() {
+			v = 1
+		}
+		fmt.Fprintln(w, "# HELP mfodgate_brownout Whether the gate is in brownout mode (hedges suppressed).")
+		fmt.Fprintln(w, "# TYPE mfodgate_brownout gauge")
+		fmt.Fprintf(w, "mfodgate_brownout %d\n", v)
+	}
 	if m.fleetSize != nil {
 		fmt.Fprintln(w, "# HELP mfodgate_replicas Replicas in the current topology.")
 		fmt.Fprintln(w, "# TYPE mfodgate_replicas gauge")

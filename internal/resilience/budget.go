@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DeadlineHeader carries a request's remaining time budget across hops
+// as a decimal integer number of milliseconds, e.g.
+//
+//	X-Mfod-Deadline-Ms: 750
+//
+// The value is *relative* (time remaining when the hop sent the
+// request), never an absolute timestamp, so hops need no synchronized
+// clocks: each receiver re-anchors the budget against its own clock on
+// parse, and the only skew that matters is the (one-way) network delay
+// of the hop itself, which errs on the safe side — downstream sees
+// slightly less budget than truly remains. An absent header means the
+// receiving hop applies its own default timeout; a non-positive or
+// malformed value is the sender's bug and is rejected with a 4xx/504 at
+// the edge rather than guessed at. The full spec lives in DESIGN.md
+// ("Deadline propagation & overload control").
+const DeadlineHeader = "X-Mfod-Deadline-Ms"
+
+// ErrBudgetExhausted is wrapped by errors returned when a request's
+// deadline budget cannot cover any further work: the caller has already
+// given up (or will have, by the time another attempt could land), so
+// the only useful response is a fast, honest failure.
+var ErrBudgetExhausted = errors.New("resilience: deadline budget exhausted")
+
+// Budget carries one request's end-to-end time budget through retry,
+// hedge and hop layers, plus per-attempt latency accounting so those
+// layers can stop spending when the remaining time cannot cover another
+// attempt. A Budget is created once at the edge (from the client's
+// deadline or the hop's default timeout), travels via context through
+// every layer of one request, and is serialized onto upstream requests
+// as DeadlineHeader. All methods are safe for concurrent use — hedged
+// legs observe attempts from separate goroutines.
+type Budget struct {
+	deadline time.Time
+	now      func() time.Time // injectable clock (tests)
+
+	mu       sync.Mutex
+	attempts int
+	durs     []time.Duration // completed attempt durations, unordered
+}
+
+// NewBudget returns a budget that expires d from now. Non-positive d
+// yields an already-expired budget (callers should fail fast).
+func NewBudget(d time.Duration) *Budget {
+	return &Budget{deadline: time.Now().Add(d), now: time.Now}
+}
+
+// BudgetFromHeader parses DeadlineHeader from h, re-anchoring the
+// remaining milliseconds against the local clock. It returns (nil, nil)
+// when the header is absent, and an error when the value is not a
+// positive decimal integer — a malformed deadline is a bug at the
+// sender, not a license to pick a default.
+func BudgetFromHeader(h http.Header) (*Budget, error) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return nil, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return nil, fmt.Errorf("resilience: bad %s %q: want a positive integer of milliseconds", DeadlineHeader, v)
+	}
+	return NewBudget(time.Duration(ms) * time.Millisecond), nil
+}
+
+// Deadline returns the absolute local-clock deadline.
+func (b *Budget) Deadline() time.Time { return b.deadline }
+
+// Remaining returns the time left before the deadline; negative once
+// expired.
+func (b *Budget) Remaining() time.Duration { return b.deadline.Sub(b.now()) }
+
+// Expired reports whether the budget is spent.
+func (b *Budget) Expired() bool { return b.Remaining() <= 0 }
+
+// HeaderValue renders the remaining budget as a DeadlineHeader value,
+// clamped below at 1ms so a still-live budget never serializes to an
+// invalid non-positive value mid-flight.
+func (b *Budget) HeaderValue() string {
+	ms := b.Remaining().Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return strconv.FormatInt(ms, 10)
+}
+
+// SetHeader stamps the remaining budget onto an outgoing request's
+// headers.
+func (b *Budget) SetHeader(h http.Header) { h.Set(DeadlineHeader, b.HeaderValue()) }
+
+// Observe records one completed attempt's duration — success or failure;
+// both consume budget and both inform the cost estimate.
+func (b *Budget) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b.mu.Lock()
+	b.attempts++
+	b.durs = append(b.durs, d)
+	b.mu.Unlock()
+}
+
+// Attempts returns how many attempts have been observed.
+func (b *Budget) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts
+}
+
+// AttemptP99 estimates the cost of one more attempt: the p99
+// (nearest-rank) of observed attempt durations, which for the handful of
+// attempts a single request makes is simply the worst one seen. Zero
+// until the first observation — an unknown cost never suppresses the
+// first try.
+func (b *Budget) AttemptP99() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.durs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(b.durs))
+	copy(sorted, b.durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (99*len(sorted) + 99) / 100 // ceil(0.99·n), 1-based nearest rank
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// CanAfford reports whether the remaining budget covers cost.
+func (b *Budget) CanAfford(cost time.Duration) bool {
+	return b.Remaining() > cost
+}
+
+// Context returns a child of parent whose deadline is capped at the
+// budget's and which carries the budget for downstream layers
+// (BudgetFrom). Always cancel.
+func (b *Budget) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithDeadline(parent, b.deadline)
+	return WithBudget(ctx, b), cancel
+}
+
+// budgetKey is the context key for WithBudget/BudgetFrom.
+type budgetKey struct{}
+
+// WithBudget attaches b to ctx for the layers below.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFrom returns the budget attached to ctx, or nil.
+func BudgetFrom(ctx context.Context) *Budget {
+	b, _ := ctx.Value(budgetKey{}).(*Budget)
+	return b
+}

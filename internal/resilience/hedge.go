@@ -38,7 +38,9 @@ type legResult struct {
 // primary fails fast (connection refused, open circuit, retries
 // exhausted) — covering dead ones. The first definitive answer wins;
 // the losing leg is cancelled and its eventual response drained so its
-// connection is reused rather than leaked.
+// connection is reused rather than leaked. When the context carries a
+// deadline *Budget, the speculative secondary is suppressed once the
+// remaining budget cannot cover the observed cost of an attempt.
 type Hedge struct {
 	// Delay is how long the primary may stay silent before the secondary
 	// is launched; 0 means 50ms. Tail latency above this bound is paid
@@ -58,6 +60,20 @@ type Hedge struct {
 // connection behind it. On total failure the primary's error is
 // returned, as it describes the preferred replica.
 func (h *Hedge) Do(ctx context.Context, primary, secondary func(context.Context) (*http.Response, error)) (*http.Response, Leg, error) {
+	return h.do(ctx, primary, secondary, true)
+}
+
+// DoFailoverOnly runs the race without the speculative timer: the
+// secondary launches only if the primary *fails*, never merely because
+// it is slow. This is the brownout shape — a speculative duplicate
+// doubles upstream load exactly when the fleet can least absorb it, but
+// failover past a dead replica is the request's only remaining chance
+// and must survive overload.
+func (h *Hedge) DoFailoverOnly(ctx context.Context, primary, secondary func(context.Context) (*http.Response, error)) (*http.Response, Leg, error) {
+	return h.do(ctx, primary, secondary, false)
+}
+
+func (h *Hedge) do(ctx context.Context, primary, secondary func(context.Context) (*http.Response, error), speculate bool) (*http.Response, Leg, error) {
 	if secondary == nil {
 		resp, err := primary(ctx)
 		if err != nil {
@@ -86,13 +102,19 @@ func (h *Hedge) Do(ctx context.Context, primary, secondary func(context.Context)
 	launch(Primary, primary)
 	outstanding, secondaryUp := 1, false
 
-	timer := time.NewTimer(delay)
-	defer timer.Stop()
+	// A nil timer channel blocks forever: in failover-only mode the
+	// speculative launch simply never fires.
+	var timerC <-chan time.Time
+	if speculate {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		timerC = timer.C
+	}
 	var primaryErr error
 	for {
 		select {
-		case <-timer.C:
-			if !secondaryUp {
+		case <-timerC:
+			if !secondaryUp && affordsHedge(ctx) {
 				secondaryUp = true
 				outstanding++
 				launch(Secondary, secondary)
@@ -115,7 +137,12 @@ func (h *Hedge) Do(ctx context.Context, primary, secondary func(context.Context)
 			}
 			if !secondaryUp {
 				// Fast failover: the primary died before the hedge timer, so
-				// there is nothing to wait for.
+				// there is nothing to wait for. Unlike the speculative hedge
+				// this is the request's only remaining chance, so it runs
+				// whenever any budget is left at all.
+				if b := BudgetFrom(ctx); b != nil && b.Expired() {
+					return nil, Primary, r.err
+				}
 				secondaryUp = true
 				outstanding++
 				launch(Secondary, secondary)
@@ -132,6 +159,25 @@ func (h *Hedge) Do(ctx context.Context, primary, secondary func(context.Context)
 			return nil, Primary, ctx.Err()
 		}
 	}
+}
+
+// affordsHedge reports whether the context's deadline budget (if any)
+// can pay for a speculative second attempt: hedging is a tail-latency
+// optimisation, so when the remaining time cannot cover the observed
+// cost of one attempt, the duplicate request would be pure wasted
+// upstream work and is suppressed.
+func affordsHedge(ctx context.Context) bool {
+	b := BudgetFrom(ctx)
+	if b == nil {
+		return true
+	}
+	if b.Expired() {
+		return false
+	}
+	if est := b.AttemptP99(); est > 0 && !b.CanAfford(est) {
+		return false
+	}
+	return true
 }
 
 // bufferBody replaces resp.Body with a fully-read in-memory copy, so the

@@ -169,3 +169,35 @@ func TestHedgeWinnerBodyOutlivesRace(t *testing.T) {
 		t.Fatalf("winner body truncated to %d bytes", len(got))
 	}
 }
+
+// TestHedgeFailoverOnlySkipsSpeculationKeepsFailover: without the
+// speculative timer a slow primary wins alone, but a dead primary still
+// fails over to the secondary.
+func TestHedgeFailoverOnlySkipsSpeculationKeepsFailover(t *testing.T) {
+	slow, _ := legServer(t, "primary", 80*time.Millisecond)
+	sec, secHits := legServer(t, "secondary", 0)
+	h := &Hedge{Delay: 10 * time.Millisecond}
+
+	resp, leg, err := h.DoFailoverOnly(context.Background(), legCall(slow.URL), legCall(sec.URL))
+	if err != nil || leg != Primary {
+		t.Fatalf("leg=%v err=%v, want the slow primary to win un-raced", leg, err)
+	}
+	if got := readBody(t, resp); got != "primary" {
+		t.Fatalf("body = %q", got)
+	}
+	if secHits.Load() != 0 {
+		t.Fatal("secondary launched although speculation is off")
+	}
+
+	dead := legCall("http://127.0.0.1:1/nope")
+	resp, leg, err = h.DoFailoverOnly(context.Background(), dead, legCall(sec.URL))
+	if err != nil || leg != Secondary {
+		t.Fatalf("leg=%v err=%v, want failover past the dead primary", leg, err)
+	}
+	if got := readBody(t, resp); got != "secondary" {
+		t.Fatalf("body = %q", got)
+	}
+	if secHits.Load() != 1 {
+		t.Fatalf("secondary hits = %d, want exactly the failover leg", secHits.Load())
+	}
+}

@@ -44,8 +44,8 @@ func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
 	}
 }
 
-func TestBudgetDepositWithdraw(t *testing.T) {
-	b := NewBudget(2, 0.5)
+func TestRetryBudgetDepositWithdraw(t *testing.T) {
+	b := NewRetryBudget(2, 0.5)
 	if !b.Withdraw() || !b.Withdraw() {
 		t.Fatal("a full budget must allow burst retries")
 	}
@@ -168,12 +168,19 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
 	ts, calls := flakyServer(t, 1<<30, http.StatusBadGateway)
 	c := &Client{MaxAttempts: 3, Backoff: fastBackoff()}
-	_, err := c.PostJSON(context.Background(), ts.URL, nil)
-	if err == nil {
-		t.Fatal("must fail once attempts are exhausted")
+	resp, err := c.PostJSON(context.Background(), ts.URL, nil)
+	if err != nil {
+		t.Fatalf("exhausted attempts must surface the server's last answer, got error %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want the final 502 relayed", resp.StatusCode)
 	}
 	if got := calls.Load(); got != 3 {
 		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if body, _ := io.ReadAll(resp.Body); !strings.Contains(string(body), "unavailable") {
+		t.Fatalf("retained body = %q, want the server's error text", body)
 	}
 }
 
@@ -212,13 +219,17 @@ func TestClientBreakerOpensAndFastFails(t *testing.T) {
 	}
 }
 
-func TestClientBudgetExhaustion(t *testing.T) {
+func TestClientRetryBudgetExhaustion(t *testing.T) {
 	ts, calls := flakyServer(t, 1<<30, http.StatusInternalServerError)
-	budget := NewBudget(1, 0.0001)
-	c := &Client{MaxAttempts: 10, Backoff: fastBackoff(), Budget: budget}
-	_, err := c.PostJSON(context.Background(), ts.URL, nil)
-	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
-		t.Fatalf("err = %v, want budget exhaustion", err)
+	budget := NewRetryBudget(1, 0.0001)
+	c := &Client{MaxAttempts: 10, Backoff: fastBackoff(), RetryBudget: budget}
+	resp, err := c.PostJSON(context.Background(), ts.URL, nil)
+	if err != nil {
+		t.Fatalf("budget exhaustion with a held 500 must return it, got error %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
 	}
 	// 1 burst token: first attempt + one retry, then the budget is dry.
 	if got := calls.Load(); got != 2 {
@@ -226,15 +237,41 @@ func TestClientBudgetExhaustion(t *testing.T) {
 	}
 }
 
-func TestClientHonorsContext(t *testing.T) {
-	ts, _ := flakyServer(t, 1<<30, http.StatusInternalServerError)
+func TestClientDeadlineStopsBackoffEarly(t *testing.T) {
+	// A context deadline far below the backoff delay must stop the retry
+	// loop *before* sleeping, returning the server's last answer fast.
+	ts, calls := flakyServer(t, 1<<30, http.StatusInternalServerError)
 	c := &Client{MaxAttempts: 100, Backoff: &Backoff{Base: time.Hour, Jitter: -1}}
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := c.PostJSON(ctx, ts.URL, nil)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	resp, err := c.PostJSON(ctx, ts.URL, nil)
+	if err != nil {
+		t.Fatalf("deadline stop with a held 500 must return it, got error %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry fits in the deadline)", got)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline check must run before the backoff sleep")
+	}
+}
+
+func TestClientHonorsContextCancel(t *testing.T) {
+	// With no held response (pure transport failure), cancellation mid-
+	// backoff surfaces the context error.
+	c := &Client{MaxAttempts: 100, Backoff: &Backoff{Base: time.Hour, Jitter: -1}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := c.PostJSON(ctx, "http://127.0.0.1:1/score", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("cancellation must interrupt the backoff sleep")

@@ -77,32 +77,33 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 	return time.Duration(d)
 }
 
-// Budget is a token-bucket retry budget shared by every request of one
-// client. Each first attempt deposits Ratio tokens (the bucket holds at
-// most Burst); each retry withdraws one whole token. Under a total
+// RetryBudget is a token-bucket retry budget shared by every request of
+// one client. Each first attempt deposits Ratio tokens (the bucket holds
+// at most Burst); each retry withdraws one whole token. Under a total
 // outage the retry rate therefore decays to Ratio retries per request
-// instead of multiplying traffic by the attempt count.
-type Budget struct {
+// instead of multiplying traffic by the attempt count. (The per-request
+// time budget is the separate Budget type in budget.go.)
+type RetryBudget struct {
 	mu     sync.Mutex
 	tokens float64
 	burst  float64
 	ratio  float64
 }
 
-// NewBudget returns a full budget. burst <= 0 means 10 tokens; ratio <=
-// 0 means 0.1 tokens deposited per first attempt.
-func NewBudget(burst, ratio float64) *Budget {
+// NewRetryBudget returns a full budget. burst <= 0 means 10 tokens;
+// ratio <= 0 means 0.1 tokens deposited per first attempt.
+func NewRetryBudget(burst, ratio float64) *RetryBudget {
 	if burst <= 0 {
 		burst = 10
 	}
 	if ratio <= 0 {
 		ratio = 0.1
 	}
-	return &Budget{tokens: burst, burst: burst, ratio: ratio}
+	return &RetryBudget{tokens: burst, burst: burst, ratio: ratio}
 }
 
 // Deposit credits the budget for one first attempt.
-func (b *Budget) Deposit() {
+func (b *RetryBudget) Deposit() {
 	b.mu.Lock()
 	b.tokens += b.ratio
 	if b.tokens > b.burst {
@@ -113,7 +114,7 @@ func (b *Budget) Deposit() {
 
 // Withdraw takes one retry token, reporting whether the retry is
 // allowed.
-func (b *Budget) Withdraw() bool {
+func (b *RetryBudget) Withdraw() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.tokens < 1 {
@@ -124,7 +125,7 @@ func (b *Budget) Withdraw() bool {
 }
 
 // Tokens returns the current balance (tests and debugging).
-func (b *Budget) Tokens() float64 {
+func (b *RetryBudget) Tokens() float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.tokens

@@ -50,7 +50,11 @@ type reqKey struct {
 type Metrics struct {
 	inflight   atomic.Int64
 	panics     atomic.Uint64
+	shed       atomic.Uint64
+	evicted    atomic.Uint64
+	wasted     atomic.Uint64
 	queueDepth func() int // registered gauge; nil until a pool attaches
+	limit      func() int // registered gauge; nil until a limiter attaches
 
 	mu       sync.Mutex
 	requests map[reqKey]uint64
@@ -164,11 +168,43 @@ func (m *Metrics) IncPanics() {
 	}
 }
 
+// IncShed counts one request rejected by the adaptive concurrency
+// limiter before any decoding or scoring work.
+func (m *Metrics) IncShed() {
+	if m != nil {
+		m.shed.Add(1)
+	}
+}
+
+// IncEvicted counts one queued job dropped because its deadline had
+// already passed before scoring started.
+func (m *Metrics) IncEvicted() {
+	if m != nil {
+		m.evicted.Add(1)
+	}
+}
+
+// IncWasted counts one job scored to completion after its waiter had
+// already given up.
+func (m *Metrics) IncWasted() {
+	if m != nil {
+		m.wasted.Add(1)
+	}
+}
+
 // RegisterQueueDepth installs the gauge read at scrape time — the pool's
 // current queue length. Call once during wiring, before serving.
 func (m *Metrics) RegisterQueueDepth(fn func() int) {
 	if m != nil {
 		m.queueDepth = fn
+	}
+}
+
+// RegisterConcurrencyLimit installs the gauge read at scrape time — the
+// adaptive limiter's current limit. Call once during wiring.
+func (m *Metrics) RegisterConcurrencyLimit(fn func() int) {
+	if m != nil {
+		m.limit = fn
 	}
 }
 
@@ -248,6 +284,18 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE mfod_panics_total counter")
 	fmt.Fprintf(w, "mfod_panics_total %d\n", m.panics.Load())
 
+	fmt.Fprintln(w, "# HELP mfod_shed_total Requests rejected by the adaptive concurrency limiter.")
+	fmt.Fprintln(w, "# TYPE mfod_shed_total counter")
+	fmt.Fprintf(w, "mfod_shed_total %d\n", m.shed.Load())
+
+	fmt.Fprintln(w, "# HELP mfod_evicted_total Queued jobs dropped because their deadline passed before scoring.")
+	fmt.Fprintln(w, "# TYPE mfod_evicted_total counter")
+	fmt.Fprintf(w, "mfod_evicted_total %d\n", m.evicted.Load())
+
+	fmt.Fprintln(w, "# HELP mfod_wasted_total Jobs scored to completion after their waiter had given up.")
+	fmt.Fprintln(w, "# TYPE mfod_wasted_total counter")
+	fmt.Fprintf(w, "mfod_wasted_total %d\n", m.wasted.Load())
+
 	fmt.Fprintln(w, "# HELP mfod_inflight_requests Requests currently being handled.")
 	fmt.Fprintln(w, "# TYPE mfod_inflight_requests gauge")
 	fmt.Fprintf(w, "mfod_inflight_requests %d\n", m.inflight.Load())
@@ -256,6 +304,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintln(w, "# HELP mfod_queue_depth Jobs waiting in the scoring queue.")
 		fmt.Fprintln(w, "# TYPE mfod_queue_depth gauge")
 		fmt.Fprintf(w, "mfod_queue_depth %d\n", m.queueDepth())
+	}
+
+	if m.limit != nil {
+		fmt.Fprintln(w, "# HELP mfod_concurrency_limit Current adaptive concurrency limit.")
+		fmt.Fprintln(w, "# TYPE mfod_concurrency_limit gauge")
+		fmt.Fprintf(w, "mfod_concurrency_limit %d\n", m.limit())
 	}
 }
 

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
@@ -106,6 +109,19 @@ type Pool struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// Deadline accounting: evicted counts jobs whose context was already
+	// dead when a worker picked them up (no scoring spent); wasted counts
+	// jobs scored to completion after their waiter had given up — the
+	// signal the SLO harness gates on.
+	evicted atomic.Uint64
+	wasted  atomic.Uint64
+
+	// Drain-rate EWMA (jobs/second across all workers), feeding the
+	// Retry-After computation for 429 responses.
+	rateMu   sync.Mutex
+	rateEWMA float64
+	rateLast time.Time
+
 	// testHook, when set (tests only), runs at the start of every batch
 	// before any scoring; it lets tests hold a worker to fill the queue.
 	testHook func(batch []*Job)
@@ -140,11 +156,69 @@ func NewPool(opt PoolOptions) *Pool {
 // QueueDepth returns the number of jobs waiting in the queue.
 func (p *Pool) QueueDepth() int { return len(p.queue) }
 
+// Evicted returns how many queued jobs were dropped because their
+// deadline had already passed when a worker reached them.
+func (p *Pool) Evicted() uint64 { return p.evicted.Load() }
+
+// Wasted returns how many jobs were scored to completion after their
+// waiter had already given up — upstream work nobody read.
+func (p *Pool) Wasted() uint64 { return p.wasted.Load() }
+
+// RetryAfter estimates, in whole seconds, how long a rejected caller
+// should wait before the queue has drained: current depth (plus the
+// rejected job itself) divided by the measured drain rate, clamped to
+// [1, 60]. With no throughput observed yet it answers 1 — optimistic,
+// but honest about a server that has done no work to measure.
+func (p *Pool) RetryAfter() int {
+	p.rateMu.Lock()
+	rate := p.rateEWMA
+	p.rateMu.Unlock()
+	if rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(len(p.queue)+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// observeDrain feeds one finished batch of n jobs into the drain-rate
+// EWMA. Consecutive batch completions across all workers approximate
+// aggregate throughput; smoothing (α=0.2) keeps one giant or empty
+// batch from whipsawing the advertised Retry-After.
+func (p *Pool) observeDrain(n int) {
+	now := time.Now()
+	p.rateMu.Lock()
+	if !p.rateLast.IsZero() {
+		if dt := now.Sub(p.rateLast).Seconds(); dt > 0 {
+			inst := float64(n) / dt
+			if p.rateEWMA == 0 {
+				p.rateEWMA = inst
+			} else {
+				p.rateEWMA = 0.8*p.rateEWMA + 0.2*inst
+			}
+		}
+	}
+	p.rateLast = now
+	p.rateMu.Unlock()
+}
+
 // Enqueue submits curves for scoring against m's current pipeline
 // snapshot. It never blocks: a full queue returns ErrQueueFull
 // immediately. ctx bounds the job's whole life — queue wait plus
 // scoring.
 func (p *Pool) Enqueue(ctx context.Context, m *Model, ds fda.Dataset, explain int) (*Job, error) {
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: a request whose deadline has already passed
+		// must not take a queue slot from one that can still make it.
+		p.evicted.Add(1)
+		p.metrics.IncEvicted()
+		return nil, err
+	}
 	j := &Job{model: m, ds: ds, explain: explain, ctx: ctx, done: make(chan JobResult, 1)}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -203,6 +277,7 @@ func (p *Pool) runBatch(batch []*Job) {
 		p.testHook(batch)
 	}
 	p.metrics.ObserveBatch(len(batch))
+	defer p.observeDrain(len(batch))
 	if err := faultinject.Hit(FaultBatch); err != nil {
 		for _, j := range batch {
 			j.done <- JobResult{Err: err}
@@ -216,7 +291,7 @@ func (p *Pool) runBatch(batch []*Job) {
 		if j.ctx.Err() != nil {
 			// The waiter is gone (deadline or disconnect): don't burn
 			// smoothing time on an answer nobody reads.
-			j.done <- JobResult{Err: j.ctx.Err()}
+			p.evict(j)
 			continue
 		}
 		if _, ok := groups[j.model]; !ok {
@@ -227,6 +302,26 @@ func (p *Pool) runBatch(batch []*Job) {
 	for _, m := range order {
 		p.runGroup(m.Pipeline(), groups[m])
 	}
+}
+
+// evict delivers a dead job's context error without scoring it. The
+// batch slot it would have burned goes to a job somebody still waits
+// for.
+func (p *Pool) evict(j *Job) {
+	p.evicted.Add(1)
+	p.metrics.IncEvicted()
+	j.done <- JobResult{Err: j.ctx.Err()}
+}
+
+// deliver hands a result to the job's waiter, counting completed work
+// whose waiter has already abandoned it — the wasted-work signal the
+// SLO harness gates to zero.
+func (p *Pool) deliver(j *Job, res JobResult) {
+	if res.Err == nil && j.ctx.Err() != nil {
+		p.wasted.Add(1)
+		p.metrics.IncWasted()
+	}
+	j.done <- res
 }
 
 // call runs fn, converting a panic into a *PanicError so one poisoned
@@ -247,6 +342,21 @@ func (p *Pool) call(fn func() error) (err error) {
 // quarantines the batch and falls back to per-job scoring so one
 // poisoned curve cannot take down its batch neighbours.
 func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
+	// Re-check deadlines at group start: in a large batch, earlier groups
+	// may have taken long enough that later jobs are already dead, and a
+	// batch slot spent on them is a slot stolen from live requests.
+	live := jobs[:0]
+	for _, j := range jobs {
+		if j.ctx.Err() != nil {
+			p.evict(j)
+			continue
+		}
+		live = append(live, j)
+	}
+	jobs = live
+	if len(jobs) == 0 {
+		return
+	}
 	if len(jobs) == 1 && jobs[0].ds.Len() == 1 && jobs[0].explain == 0 {
 		// Single curve, no explanations: the allocation-light fast path.
 		var s float64
@@ -255,10 +365,10 @@ func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
 			return
 		})
 		if err != nil {
-			jobs[0].done <- JobResult{Err: err}
+			p.deliver(jobs[0], JobResult{Err: err})
 			return
 		}
-		jobs[0].done <- JobResult{Scores: []float64{s}}
+		p.deliver(jobs[0], JobResult{Scores: []float64{s}})
 		return
 	}
 	merged := fda.Dataset{}
@@ -272,7 +382,7 @@ func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
 	})
 	if err != nil {
 		if len(jobs) == 1 {
-			jobs[0].done <- JobResult{Err: err}
+			p.deliver(jobs[0], JobResult{Err: err})
 			return
 		}
 		for _, j := range jobs {
@@ -301,6 +411,6 @@ func (p *Pool) runGroup(pipe *core.Pipeline, jobs []*Job) {
 				res = JobResult{Err: expErr}
 			}
 		}
-		j.done <- res
+		p.deliver(j, res)
 	}
 }

@@ -134,16 +134,12 @@ func TestPoolSkipsExpiredJobs(t *testing.T) {
 	defer p.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	j, err := p.Enqueue(ctx, m, ds, 0)
-	if err != nil {
-		t.Fatal(err)
+	// Dead on arrival: rejected at Enqueue, before taking a queue slot.
+	if _, err := p.Enqueue(ctx, m, ds, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Enqueue with dead ctx = %v, want context.Canceled", err)
 	}
-	res, ok := j.Wait(context.Background())
-	if !ok {
-		t.Fatal("worker must still deliver a result for an expired job")
-	}
-	if !errors.Is(res.Err, context.Canceled) {
-		t.Fatalf("err = %v, want context.Canceled", res.Err)
+	if got := p.Evicted(); got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
 	}
 }
 

@@ -8,15 +8,24 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/fda"
 	"repro/internal/geometry"
+	"repro/internal/resilience"
 	"repro/internal/wire"
 )
+
+// FaultShed is the fault-injection point hit before limiter admission
+// on every scoring request. Arming it with an error forces the request
+// to be shed with a 429, so overload handling is testable without
+// generating real overload.
+const FaultShed = "serve.shed"
 
 // Config wires a Server together. Registry and Pool are required;
 // Metrics and Logger may be nil (observability off, logging discarded).
@@ -37,7 +46,12 @@ type Config struct {
 	// MaxPoints caps measurement points per curve; 0 means
 	// DefaultMaxPoints. Exceeding it is a 400.
 	MaxPoints int
-	Logger    *slog.Logger
+	// Limiter, when non-nil, is the adaptive concurrency limiter applied
+	// to scoring requests before any decoding work; over-limit requests
+	// are shed with 429 and a Retry-After derived from queue pressure.
+	// Nil disables adaptive limiting (the bounded queue still applies).
+	Limiter *AIMD
+	Logger  *slog.Logger
 }
 
 // Server exposes fitted pipelines over HTTP:
@@ -299,13 +313,51 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, name string
 	start := time.Now()
 	s.cfg.Metrics.IncInflight()
 	defer s.cfg.Metrics.DecInflight()
-	code, samples := s.score(w, r, name, start)
-	s.cfg.Metrics.ObserveRequest(name, code, time.Since(start).Seconds())
-	s.log(r, name, code, start, samples)
+	code, samples := 0, 0
+	defer func() {
+		s.cfg.Metrics.ObserveRequest(name, code, time.Since(start).Seconds())
+		s.log(r, name, code, start, samples)
+	}()
+	// Admission control runs before any body is read: shedding is only
+	// cheap if it spends no decode or scoring work on the shed request.
+	forced := faultinject.Hit(FaultShed) != nil
+	if forced || (s.cfg.Limiter != nil && !s.cfg.Limiter.Acquire()) {
+		code = s.shed(w)
+		return
+	}
+	if s.cfg.Limiter != nil {
+		defer func() {
+			s.cfg.Limiter.Release(time.Since(start),
+				code == http.StatusGatewayTimeout || code == http.StatusTooManyRequests)
+		}()
+	}
+	code, samples = s.score(w, r, name, start)
+}
+
+// shed rejects one request at admission with a 429 whose Retry-After
+// reflects measured queue pressure, and returns the status written.
+func (s *Server) shed(w http.ResponseWriter) int {
+	retryAfter := s.cfg.Pool.RetryAfter()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	jsonError(w, http.StatusTooManyRequests,
+		"server overloaded (adaptive concurrency limit), retry in ~%ds", retryAfter)
+	s.cfg.Metrics.IncShed()
+	return http.StatusTooManyRequests
 }
 
 // score runs one scoring request and returns the status code it wrote.
 func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, start time.Time) (code, samples int) {
+	// Parse the propagated deadline before touching the body: a request
+	// whose caller has already given up must cost nothing further.
+	budget, berr := resilience.BudgetFromHeader(r.Header)
+	if berr != nil {
+		jsonError(w, http.StatusBadRequest, "%v", berr)
+		return http.StatusBadRequest, 0
+	}
+	if budget != nil && budget.Expired() {
+		jsonError(w, http.StatusGatewayTimeout, "deadline in %s already expired", resilience.DeadlineHeader)
+		return http.StatusGatewayTimeout, 0
+	}
 	m, ok := s.cfg.Registry.Get(name)
 	if !ok {
 		jsonError(w, http.StatusNotFound, "unknown model %q", name)
@@ -334,17 +386,29 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 			timeout = d
 		}
 	}
+	// The propagated budget caps the local timeout: this hop must not
+	// keep working past the moment the caller walks away.
+	if budget != nil {
+		if rem := budget.Remaining(); rem < timeout {
+			timeout = rem
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	job, err := s.cfg.Pool.Enqueue(ctx, m, ds, explain)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After reflects measured queue pressure — depth over drain
+		// rate — not a constant the client has no reason to trust.
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.Pool.RetryAfter()))
 		jsonError(w, http.StatusTooManyRequests, "scoring queue full, retry later")
 		return http.StatusTooManyRequests, len(ds.Samples)
 	case errors.Is(err, ErrPoolClosed):
 		jsonError(w, http.StatusServiceUnavailable, "server shutting down")
 		return http.StatusServiceUnavailable, len(ds.Samples)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		jsonError(w, http.StatusGatewayTimeout, "deadline expired before scoring started")
+		return http.StatusGatewayTimeout, len(ds.Samples)
 	case err != nil:
 		jsonError(w, http.StatusInternalServerError, "enqueue: %v", err)
 		return http.StatusInternalServerError, len(ds.Samples)
