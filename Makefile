@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve bench-slo fuzz check
+.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve bench-slo bench-jobs fuzz check
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,17 @@ bench-serve:
 bench-slo:
 	$(GO) run -race ./cmd/mfodload -slo -self 3 -rps 100 -duration 3s \
 		-slo-min-goodput 0.9 -slo-max-wasted 0 -o BENCH_slo.json
+
+# Bulk-scoring benchmark: mfodload boots the hermetic fleet with the
+# async jobs API enabled, streams back-to-back bulk jobs through
+# internal/client while pacing interactive traffic beside them, and
+# gates on time-to-first-result, bitwise fidelity against synchronous
+# scoring, and the interactive p99 surviving under bulk load. Writes
+# BENCH_jobs.json; CI archives the report.
+bench-jobs:
+	$(GO) run ./cmd/mfodload -jobs -self 3 -rps 50 -duration 5s \
+		-jobs-samples 512 -jobs-chunk 64 -jobs-max-ttfr 2s \
+		-jobs-max-p99 500ms -o BENCH_jobs.json
 
 # 30-second fuzz smoke on the B-spline evaluator (knot-boundary and
 # derivative edge cases); the corpus lives in internal/bspline/testdata.

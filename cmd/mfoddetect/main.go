@@ -15,31 +15,34 @@
 // as a footer.
 //
 // With -remote the curves are not scored locally at all: they are POSTed
-// to a running mfodserve instance, with transient failures (connection
-// errors, 429, 5xx) retried under exponential backoff and a circuit
-// breaker — see internal/resilience:
+// to a running mfodserve or mfodgate instance through internal/client,
+// with transient failures (connection errors, 429, 5xx) retried under
+// exponential backoff and a circuit breaker:
 //
 //	mfoddetect -in curves.csv -remote http://localhost:8080 -remote-model ecg
 //	           [-remote-attempts 4] [-remote-backoff 100ms] [-remote-breaker 5]
-//	           [-wire]
+//	           [-wire] [-async [-chunk 256]]
 //
 // -wire sends the curves as the versioned binary frame of internal/wire
 // instead of JSON — the codec mfodgate speaks upstream — cutting request
 // bytes roughly in half; scores are bitwise identical either way.
+//
+// -async submits the curves as a bulk-scoring job (POST /v1/jobs) and
+// streams the results back over the resumable NDJSON endpoint instead of
+// holding one synchronous request open — the right mode for large curve
+// sets, and against a gate the job is scatter/gathered across the whole
+// fleet. Scores are bitwise identical to the synchronous path.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
@@ -47,8 +50,6 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/iforest"
 	"repro/internal/lof"
-	"repro/internal/resilience"
-	"repro/internal/wire"
 )
 
 // options collects every flag; run dispatches on them so tests can drive
@@ -72,6 +73,8 @@ type options struct {
 	remoteBreaker  int
 	remoteTimeout  time.Duration
 	remoteWire     bool // send the binary wire frame instead of JSON
+	async          bool // bulk-scoring job instead of one synchronous request
+	chunk          int  // chunk-size override for -async (0 = server default)
 }
 
 func main() {
@@ -92,6 +95,8 @@ func main() {
 	flag.IntVar(&o.remoteBreaker, "remote-breaker", 5, "consecutive remote failures that open the circuit breaker")
 	flag.DurationVar(&o.remoteTimeout, "remote-timeout", 30*time.Second, "per-attempt HTTP timeout for remote scoring")
 	flag.BoolVar(&o.remoteWire, "wire", false, "send curves as the binary wire codec instead of JSON (with -remote)")
+	flag.BoolVar(&o.async, "async", false, "submit a bulk-scoring job and stream results instead of one synchronous request (with -remote)")
+	flag.IntVar(&o.chunk, "chunk", 0, "chunk size for -async jobs (0 = server default)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mfoddetect:", err)
@@ -247,32 +252,30 @@ func run(o options) error {
 	return nil
 }
 
-// encodeRemoteBody renders the scoring request under the chosen codec.
-// Both carry float64 values exactly, so the server's answer is bitwise
-// identical either way; the wire frame just costs about half the bytes.
-func encodeRemoteBody(testSet fda.Dataset, explain int, asWire bool) (body []byte, contentType string, err error) {
-	if asWire {
-		return wire.EncodeRequest(wire.Request{Dataset: testSet, Explain: explain}), wire.ContentType, nil
+// remoteClient builds the unified v1 client from the remote flags.
+func remoteClient(o options) *client.Client {
+	codec := "json"
+	if o.remoteWire {
+		codec = "wire"
 	}
-	type jsonSample struct {
-		Times  []float64   `json:"times"`
-		Values [][]float64 `json:"values"`
-	}
-	reqBody := struct {
-		Samples []jsonSample `json:"samples"`
-		Explain int          `json:"explain,omitempty"`
-	}{Explain: explain}
-	for _, s := range testSet.Samples {
-		reqBody.Samples = append(reqBody.Samples, jsonSample{Times: s.Times, Values: s.Values})
-	}
-	body, err = json.Marshal(reqBody)
-	return body, "application/json", err
+	return client.New(client.Options{
+		BaseURL:          o.remote,
+		Codec:            codec,
+		Timeout:          o.remoteTimeout,
+		Attempts:         o.remoteAttempts,
+		Backoff:          o.remoteBackoff,
+		BreakerThreshold: o.remoteBreaker,
+		BreakerCooldown:  time.Second,
+		Seed:             o.seed,
+	})
 }
 
-// runRemote scores -in against a running mfodserve instance through the
-// resilience client: transient failures are retried with exponential
+// runRemote scores -in against a running mfodserve or mfodgate through
+// internal/client: transient failures are retried with exponential
 // backoff and repeated failures open a circuit breaker instead of
-// hammering a down service.
+// hammering a down service. With -async the curves go through the bulk
+// jobs API and stream back incrementally; scores are bitwise identical
+// to the synchronous path either way.
 func runRemote(o options) error {
 	if o.in == "" {
 		return fmt.Errorf("-in is required")
@@ -284,55 +287,47 @@ func runRemote(o options) error {
 	if err != nil {
 		return fmt.Errorf("read %s: %w", o.in, err)
 	}
-	body, contentType, err := encodeRemoteBody(testSet, o.explain, o.remoteWire)
-	if err != nil {
-		return err
-	}
-	client := &resilience.Client{
-		HTTP:        &http.Client{Timeout: o.remoteTimeout},
-		MaxAttempts: o.remoteAttempts,
-		Backoff:     &resilience.Backoff{Base: o.remoteBackoff, Seed: o.seed},
-		RetryBudget: resilience.NewRetryBudget(0, 0),
-		Breaker:     resilience.NewBreaker(o.remoteBreaker, time.Second),
-	}
-	url := strings.TrimSuffix(o.remote, "/") + "/v1/models/" + o.remoteModel + ":score"
-	resp, err := client.Post(context.Background(), url, contentType, body)
-	if err != nil {
-		return fmt.Errorf("remote score: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("remote score: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
-	var out struct {
-		Scores       []float64 `json:"scores"`
-		Explanations [][]struct {
-			T float64 `json:"t"`
-			Z float64 `json:"z"`
-		} `json:"explanations"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return fmt.Errorf("remote score: decode response: %w", err)
-	}
-	if len(out.Scores) != testSet.Len() {
-		return fmt.Errorf("remote score: %d scores for %d samples", len(out.Scores), testSet.Len())
-	}
+	c := remoteClient(o)
+	ctx := context.Background()
+
+	var scores []float64
 	var explain func(i int) ([]expLine, error)
-	if o.explain > 0 && out.Explanations != nil {
-		explain = func(i int) ([]expLine, error) {
-			lines := make([]expLine, len(out.Explanations[i]))
-			for k, e := range out.Explanations[i] {
-				lines[k] = expLine{t: e.T, z: e.Z}
+	if o.async {
+		job, err := c.SubmitJob(ctx, o.remoteModel, testSet, o.chunk)
+		if err != nil {
+			return fmt.Errorf("remote job: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "mfoddetect: job %s accepted (%d samples, chunk %d)\n",
+			job.ID, job.Samples, job.Chunk)
+		scores, _, err = job.Collect(ctx)
+		if err != nil {
+			return fmt.Errorf("remote job: %w", err)
+		}
+	} else {
+		res, err := c.Score(ctx, o.remoteModel, testSet, o.explain)
+		if err != nil {
+			return fmt.Errorf("remote score: %w", err)
+		}
+		scores = res.Scores
+		if o.explain > 0 && res.Explanations != nil {
+			exps := res.Explanations
+			explain = func(i int) ([]expLine, error) {
+				lines := make([]expLine, len(exps[i]))
+				for k, e := range exps[i] {
+					lines[k] = expLine{t: e.T, z: e.Z}
+				}
+				return lines, nil
 			}
-			return lines, nil
 		}
 	}
-	if err := report(out.Scores, testSet.Labels, o.top, explain); err != nil {
+	if len(scores) != testSet.Len() {
+		return fmt.Errorf("remote score: %d scores for %d samples", len(scores), testSet.Len())
+	}
+	if err := report(scores, testSet.Labels, o.top, explain); err != nil {
 		return err
 	}
 	if testSet.Labels != nil {
-		auc, err := eval.AUC(out.Scores, testSet.Labels)
+		auc, err := eval.AUC(scores, testSet.Labels)
 		if err == nil {
 			fmt.Printf("AUC: %.4f  (remote model=%s)\n", auc, o.remoteModel)
 		}

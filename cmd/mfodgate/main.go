@@ -15,15 +15,23 @@
 //	         [-attempts 2] [-breaker-threshold 5] [-breaker-cooldown 1s]
 //	         [-brownout-window 5s] [-brownout-enter 0.3] [-brownout-exit 0.1]
 //	         [-slow-after 0] [-max-body 33554432] [-json-upstream] [-quiet]
+//	         [-jobs=true] [-jobs-chunk 256] [-jobs-tokens 4]
 //
-// Endpoints (a drop-in superset of one replica's surface):
+// Endpoints (a drop-in superset of one replica's surface; every
+// 4xx/5xx carries the v1 error envelope):
 //
-//	POST /v1/models/{name}:score   hedged, sharded scoring
-//	POST /v1/models/{name}:reload  broadcast reload to every replica
+//	POST /v1/score?model={name}    hedged, sharded scoring
+//	POST /v1/reload?model={name}   broadcast reload to every replica
+//	POST /v1/jobs                  async bulk scoring, chunks scatter/gathered across the fleet
+//	GET  /v1/jobs/{id}[/results]   poll / stream a job (resumable NDJSON)
 //	GET  /v1/models                proxied model listing
 //	GET  /v1/topology              fleet, health and routing view
 //	GET  /healthz, /readyz         liveness / readiness
 //	GET  /metrics                  Prometheus text metrics
+//
+// The colon-verb forms POST /v1/models/{name}:score and :reload remain
+// as deprecated aliases answering byte-identically plus a Deprecation
+// header.
 //
 // On SIGINT/SIGTERM the gate drains gracefully: readiness flips to 503,
 // in-flight hedges finish, then the process exits.
@@ -45,6 +53,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/gate"
+	"repro/internal/jobs"
 )
 
 // gateOptions collects every flag plus the test-only ready channel, so
@@ -67,6 +76,9 @@ type gateOptions struct {
 	slowAfter        time.Duration
 	maxBody          int64
 	jsonUpstream     bool
+	jobsEnable       bool
+	jobsChunk        int
+	jobsTokens       int
 	quiet            bool
 	faults           string        // MFOD_FAULTS spec, armed before serving
 	ready            chan<- string // tests only: receives the bound address
@@ -91,6 +103,9 @@ func main() {
 	flag.DurationVar(&o.slowAfter, "slow-after", 0, "latency counted as a bad outcome by the brownout window (0 = timeout/2)")
 	flag.Int64Var(&o.maxBody, "max-body", 0, "request-body byte cap, exceeded => JSON 413 (0 = 32 MiB)")
 	flag.BoolVar(&o.jsonUpstream, "json-upstream", false, "forward JSON bodies as-is instead of transcoding to the binary wire codec")
+	flag.BoolVar(&o.jobsEnable, "jobs", true, "serve the async bulk-scoring jobs API, scatter/gathered across the fleet")
+	flag.IntVar(&o.jobsChunk, "jobs-chunk", 0, "default samples per bulk-job chunk (0 = 256)")
+	flag.IntVar(&o.jobsTokens, "jobs-tokens", 0, "concurrent chunks one bulk job may have in flight (0 = 4)")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress request logging")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -163,6 +178,8 @@ func run(o gateOptions) error {
 		BreakerCooldown:  o.breakerCooldown,
 		JSONUpstream:     o.jsonUpstream,
 		Brownout:         brownout,
+		EnableJobs:       o.jobsEnable,
+		JobOptions:       jobs.Options{ChunkSize: o.jobsChunk, Tokens: o.jobsTokens},
 	})
 	if err != nil {
 		return err
@@ -195,6 +212,9 @@ func run(o gateOptions) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
+	}
+	if mgr := g.Jobs(); mgr != nil {
+		mgr.Close()
 	}
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
@@ -76,6 +77,14 @@ type loadOptions struct {
 	deadline      time.Duration
 	sloMinGoodput float64
 	sloMaxWasted  int
+
+	// Bulk-scoring benchmark mode (-jobs): one async job through the
+	// gate while interactive traffic runs beside it.
+	jobs        bool
+	jobsSamples int
+	jobsChunk   int
+	jobsMaxTTFR time.Duration
+	jobsMaxP99  time.Duration
 }
 
 func main() {
@@ -94,7 +103,19 @@ func main() {
 	flag.DurationVar(&o.deadline, "deadline", 500*time.Millisecond, "per-request client deadline in -slo mode, propagated via "+resilience.DeadlineHeader)
 	flag.Float64Var(&o.sloMinGoodput, "slo-min-goodput", 0.9, "fail the -slo run when any non-overload scenario's goodput drops below this")
 	flag.IntVar(&o.sloMaxWasted, "slo-max-wasted", 0, "fail the -slo run when fleet-wide wasted work exceeds this (-1 disables)")
+	flag.BoolVar(&o.jobs, "jobs", false, "run the bulk-scoring benchmark against the -self fleet instead of a plain load run")
+	flag.IntVar(&o.jobsSamples, "jobs-samples", 512, "curves in the bulk job")
+	flag.IntVar(&o.jobsChunk, "jobs-chunk", 64, "chunk size for the bulk job (0 = gate default)")
+	flag.DurationVar(&o.jobsMaxTTFR, "jobs-max-ttfr", 5*time.Second, "fail the -jobs run when the first result takes longer than this (0 disables)")
+	flag.DurationVar(&o.jobsMaxP99, "jobs-max-p99", 0, "fail the -jobs run when interactive p99 under bulk load exceeds this (0 disables)")
 	flag.Parse()
+	if o.jobs {
+		if err := runJobs(o); err != nil {
+			fmt.Fprintln(os.Stderr, "mfodload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if o.slo {
 		if err := runSLO(o); err != nil {
 			fmt.Fprintln(os.Stderr, "mfodload:", err)
@@ -173,12 +194,8 @@ func run(o loadOptions) error {
 	if err != nil {
 		return err
 	}
-	contentType := "application/json"
-	if o.codec == "wire" {
-		contentType = wire.ContentType
-	}
 
-	rep := drive(base, o, bodies, contentType)
+	rep := drive(base, o, bodies, contentTypeFor(o.codec))
 	rep.BytesPerRequest = map[string]int{"json": jsonBytes, "wire": wireBytes}
 
 	var w io.Writer = os.Stdout
@@ -203,6 +220,14 @@ func run(o loadOptions) error {
 		return fmt.Errorf("%d/%d requests failed", rep.Errors, rep.Requests)
 	}
 	return nil
+}
+
+// contentTypeFor maps a -codec value to its media type.
+func contentTypeFor(codec string) string {
+	if codec == "wire" {
+		return wire.ContentType
+	}
+	return "application/json"
 }
 
 // decodeReplay reads an `mfodgen -json` document (the :score body shape).
@@ -279,7 +304,7 @@ func drive(base string, o loadOptions, bodies [][]byte, contentType string) repo
 		shed      int
 	)
 	client := &http.Client{Timeout: 30 * time.Second}
-	target := base + "/v1/models/" + o.model + ":score"
+	target := base + "/v1/score?model=" + url.QueryEscape(o.model)
 	sem := make(chan struct{}, o.concurrency)
 	var wg sync.WaitGroup
 
@@ -503,7 +528,7 @@ func bootSelfFleet(n int, model string, popt serve.PoolOptions, healthInterval t
 	}
 	health := &gate.Health{Interval: healthInterval}
 	health.Run(table, make(chan struct{}))
-	g, err := gate.New(gate.Config{Table: table, Health: health, Logger: quiet})
+	g, err := gate.New(gate.Config{Table: table, Health: health, Logger: quiet, EnableJobs: true})
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -25,13 +26,12 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/resilience"
 	"repro/internal/serve"
-	"repro/internal/wire"
 )
 
 // sloScenario is one scripted phase's scorecard.
 type sloScenario struct {
-	Name     string  `json:"name"`
-	Requests int     `json:"requests"`
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
 	// OK counts 200s that arrived inside the client deadline — goodput's
 	// numerator. A 200 after the deadline is wasted, not good.
 	OK             int     `json:"ok"`
@@ -68,6 +68,9 @@ func runSLO(o loadOptions) error {
 	if o.deadline <= 0 {
 		return errors.New("-deadline must be positive")
 	}
+	if o.codec != "wire" && o.codec != "json" {
+		return fmt.Errorf("bad -codec %q, want wire or json", o.codec)
+	}
 	if o.out == "BENCH_serve.json" {
 		o.out = "BENCH_slo.json"
 	}
@@ -83,7 +86,9 @@ func runSLO(o loadOptions) error {
 	if err != nil {
 		return err
 	}
-	bodies, _, _, err := buildBodies(fleet.d, 1, "wire")
+	// The request codec follows -codec on every leg of every scenario —
+	// the SLO machinery must hold for JSON clients exactly as for wire.
+	bodies, _, _, err := buildBodies(fleet.d, 1, o.codec)
 	if err != nil {
 		return err
 	}
@@ -235,7 +240,8 @@ func driveScripted(name, base string, o loadOptions, rps float64, bodies [][]byt
 		s         = sloScenario{Name: name}
 	)
 	client := &http.Client{}
-	target := base + "/v1/models/" + o.model + ":score"
+	target := base + "/v1/score?model=" + url.QueryEscape(o.model)
+	contentType := contentTypeFor(o.codec)
 	deadlineMs := strconv.FormatInt(o.deadline.Milliseconds(), 10)
 	sem := make(chan struct{}, o.concurrency)
 	var wg sync.WaitGroup
@@ -259,7 +265,7 @@ func driveScripted(name, base string, o loadOptions, rps float64, bodies [][]byt
 				defer wg.Done()
 				defer func() { <-sem }()
 				t0 := time.Now()
-				code, err := postDeadline(client, target, body, o.deadline, deadlineMs)
+				code, err := postDeadline(client, target, contentType, body, o.deadline, deadlineMs)
 				elapsed := time.Since(t0)
 				ms := float64(elapsed.Microseconds()) / 1000
 				mu.Lock()
@@ -310,14 +316,14 @@ func driveScripted(name, base string, o loadOptions, rps float64, bodies [][]byt
 
 // postDeadline sends one scoring request under the client deadline,
 // propagated downstream via the deadline header.
-func postDeadline(client *http.Client, url string, body []byte, deadline time.Duration, deadlineMs string) (int, error) {
+func postDeadline(client *http.Client, url, contentType string, body []byte, deadline time.Duration, deadlineMs string) (int, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
-	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(resilience.DeadlineHeader, deadlineMs)
 	resp, err := client.Do(req)
 	if err != nil {

@@ -10,14 +10,21 @@
 //	          [-addr :8080] [-workers 8] [-queue 256] [-batch 16]
 //	          [-timeout 30s] [-max-body 33554432] [-quiet]
 //	          [-limit-max 256] [-limit-min 1] [-limit-target 250ms]
+//	          [-jobs=true] [-jobs-chunk 64] [-jobs-tokens 2] [-jobs-max 64]
 //
-// Endpoints:
+// Endpoints (every 4xx/5xx carries the v1 error envelope):
 //
-//	POST /v1/models/{name}:score   score curves (JSON body), optional explanations
-//	POST /v1/models/{name}:reload  atomically re-read the model file
+//	POST /v1/score?model={name}    score curves (JSON or wire body), optional explanations
+//	POST /v1/reload?model={name}   atomically re-read the model file
+//	POST /v1/jobs                  submit an async bulk-scoring job
+//	GET  /v1/jobs/{id}[/results]   poll / stream a job (resumable NDJSON)
 //	GET  /v1/models                list loaded models
 //	GET  /healthz, /readyz         liveness / readiness
 //	GET  /metrics                  Prometheus text metrics
+//
+// The colon-verb forms POST /v1/models/{name}:score and :reload remain
+// as deprecated aliases answering byte-identically plus a Deprecation
+// header.
 //
 // On SIGINT/SIGTERM the server drains gracefully: readiness flips to
 // 503, in-flight requests finish, then the worker pool shuts down.
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/jobs"
 	"repro/internal/serve"
 )
 
@@ -76,6 +84,10 @@ type serveOptions struct {
 	limitMax    int
 	limitMin    int
 	limitTarget time.Duration
+	jobsEnable  bool
+	jobsChunk   int
+	jobsTokens  int
+	jobsMax     int
 	quiet       bool
 	faults      string        // MFOD_FAULTS spec, armed before serving
 	ready       chan<- string // tests only: receives the bound address
@@ -93,6 +105,10 @@ func main() {
 	flag.IntVar(&o.limitMax, "limit-max", 0, "adaptive concurrency limit ceiling (AIMD); 0 disables the limiter")
 	flag.IntVar(&o.limitMin, "limit-min", 1, "adaptive concurrency limit floor")
 	flag.DurationVar(&o.limitTarget, "limit-target", 250*time.Millisecond, "latency above which the adaptive limit shrinks")
+	flag.BoolVar(&o.jobsEnable, "jobs", true, "serve the async bulk-scoring jobs API (/v1/jobs)")
+	flag.IntVar(&o.jobsChunk, "jobs-chunk", 0, "default samples per bulk-job chunk (0 = 64)")
+	flag.IntVar(&o.jobsTokens, "jobs-tokens", 0, "concurrent chunks one bulk job may hold in the pool (0 = 2; bounds bulk pressure on interactive traffic)")
+	flag.IntVar(&o.jobsMax, "jobs-max", 0, "job-table capacity; full => 429 (0 = 64)")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress request logging")
 	flag.Var(&models, "model", "name=path of a saved pipeline; repeatable")
 	flag.Parse()
@@ -149,6 +165,28 @@ func run(o serveOptions) error {
 		})
 		metrics.RegisterConcurrencyLimit(limiter.Limit)
 	}
+	var jobsMgr *jobs.Manager
+	if o.jobsEnable {
+		var err error
+		jobsMgr, err = jobs.NewManager(jobs.Options{
+			Runner:       &serve.JobRunner{Registry: registry, Pool: pool},
+			ChunkSize:    o.jobsChunk,
+			Tokens:       o.jobsTokens,
+			MaxJobs:      o.jobsMax,
+			ChunkTimeout: o.timeout,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Bulk jobs stop before the pool: a closing pool would strand chunk
+	// waits until their timeout, and job supervisors must not outlive
+	// the workers that score for them.
+	closeJobs := func() {
+		if jobsMgr != nil {
+			jobsMgr.Close()
+		}
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Registry:     registry,
 		Pool:         pool,
@@ -157,6 +195,7 @@ func run(o serveOptions) error {
 		MaxBodyBytes: o.maxBody,
 		Limiter:      limiter,
 		Logger:       logger,
+		Jobs:         jobsMgr,
 	})
 	if err != nil {
 		return err
@@ -180,19 +219,22 @@ func run(o serveOptions) error {
 
 	select {
 	case err := <-errc:
+		closeJobs()
 		pool.Close()
 		return err
 	case sig := <-sigc:
 		logger.Info("shutdown", "signal", sig.String())
 	}
 	// Graceful drain: stop advertising readiness, let in-flight requests
-	// finish (they wait on pool jobs), then stop the workers.
+	// finish (they wait on pool jobs), cancel bulk jobs, then stop the
+	// workers.
 	srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), o.timeout+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
 	}
+	closeJobs()
 	pool.Close()
 	return nil
 }

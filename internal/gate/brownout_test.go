@@ -118,7 +118,7 @@ func TestBrownoutSlowRequestsCount(t *testing.T) {
 	}
 	c, _ := brownoutAt(BrownoutOptions{MinSamples: 5}) // SlowAfter off
 	for i := 0; i < 10; i++ {
-		c.Observe(200, 500 * time.Millisecond)
+		c.Observe(200, 500*time.Millisecond)
 	}
 	if c.Active() {
 		t.Fatal("latency must not count with SlowAfter disabled")

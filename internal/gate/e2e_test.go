@@ -23,6 +23,7 @@ import (
 	"repro/internal/gate"
 	"repro/internal/geometry"
 	"repro/internal/iforest"
+	"repro/internal/jobs"
 	"repro/internal/serve"
 	"repro/internal/wire"
 )
@@ -225,6 +226,8 @@ func bootGate(t *testing.T, modelPath string) *gateHarness {
 		Metrics:    metrics,
 		HedgeDelay: 30 * time.Millisecond,
 		Timeout:    10 * time.Second,
+		EnableJobs: true,
+		JobOptions: jobs.Options{ChunkSize: 16, Tokens: 4, MaxAttempts: 8, Backoff: 20 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

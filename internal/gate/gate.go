@@ -8,14 +8,17 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"strings"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/fda"
+	"repro/internal/httpapi"
+	"repro/internal/jobs"
 	"repro/internal/resilience"
 	"repro/internal/wire"
 )
@@ -59,6 +62,17 @@ type Config struct {
 	// suppression and Retry-After derivation; nil means defaults with
 	// SlowAfter = Timeout/2.
 	Brownout *Brownout
+	// EnableJobs mounts the async bulk-scoring endpoints (POST /v1/jobs
+	// and friends) on the gate. Chunks are scatter/gathered across the
+	// fleet: each chunk shards by model#index on the consistent-hash
+	// ring, so a big job spreads over every healthy replica instead of
+	// camping on the model's primary.
+	EnableJobs bool
+	// JobOptions tunes the bulk-scoring manager. Runner is ignored —
+	// the gate itself scores chunks.
+	JobOptions jobs.Options
+	// JobsMaxBodyBytes caps the job submit body; 0 means 256 MiB.
+	JobsMaxBodyBytes int64
 }
 
 // Gate is the scale-out front tier: it consistent-hash-shards model
@@ -66,19 +80,26 @@ type Config struct {
 // health-checks them actively, and answers each scoring request through
 // a hedged race between a model's primary replica and its ring
 // successor. Requests leave the gate on the binary wire codec by
-// default, whatever the client spoke.
+// default, whatever the client spoke. Canonical v1 surface:
 //
-//	POST /v1/models/{name}:score    forwarded to the model's shard (hedged)
-//	POST /v1/models/{name}:reload   broadcast to every replica
+//	POST /v1/score?model={name}     forwarded to the model's shard (hedged)
+//	POST /v1/reload?model={name}    broadcast to every replica
 //	GET  /v1/models                 proxied to the first healthy replica
 //	GET  /v1/topology               current fleet, routing and health view
+//	POST /v1/jobs                   async bulk scoring, scatter/gathered (EnableJobs)
+//	GET  /v1/jobs/{id}[/results]    poll / stream a job
 //	GET  /healthz                   gate liveness
 //	GET  /readyz                    503 until a replica is healthy / while draining
 //	GET  /metrics                   Prometheus text exposition
+//
+// The colon-verb routes POST /v1/models/{name}:score|:reload remain as
+// deprecated aliases, mirroring the replica surface; every 4xx/5xx
+// carries the v1 error envelope.
 type Gate struct {
 	cfg      Config
 	hedge    resilience.Hedge
 	budget   *resilience.RetryBudget
+	jobs     *jobs.Manager
 	draining atomic.Bool
 
 	mu      sync.Mutex
@@ -114,6 +135,31 @@ func New(cfg Config) (*Gate, error) {
 		budget:  resilience.NewRetryBudget(0, 0),
 		clients: make(map[string]*resilience.Client),
 	}
+	if cfg.EnableJobs {
+		opt := cfg.JobOptions
+		def := defaultJobOptions(cfg.Timeout)
+		if opt.ChunkSize <= 0 {
+			opt.ChunkSize = def.ChunkSize
+		}
+		if opt.Tokens <= 0 {
+			opt.Tokens = def.Tokens
+		}
+		if opt.MaxAttempts <= 0 {
+			opt.MaxAttempts = def.MaxAttempts
+		}
+		if opt.Backoff <= 0 {
+			opt.Backoff = def.Backoff
+		}
+		if opt.ChunkTimeout <= 0 {
+			opt.ChunkTimeout = def.ChunkTimeout
+		}
+		opt.Runner = g
+		mgr, err := jobs.NewManager(opt)
+		if err != nil {
+			return nil, err
+		}
+		g.jobs = mgr
+	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.RegisterFleetGauges(
 			func() int { return g.cfg.Table.Fleet().ring.Len() },
@@ -126,6 +172,10 @@ func New(cfg Config) (*Gate, error) {
 
 // Drain flips readiness to 503; in-flight requests keep running.
 func (g *Gate) Drain() { g.draining.Store(true) }
+
+// Jobs returns the bulk-scoring manager when EnableJobs was set (nil
+// otherwise); callers own closing it on shutdown.
+func (g *Gate) Jobs() *jobs.Manager { return g.jobs }
 
 // client returns the resilience client for a replica, creating it (and
 // its breaker) on first use. Clients persist across topology reloads
@@ -163,8 +213,19 @@ func (g *Gate) client(name string) *resilience.Client {
 // breaker and hedge then sort out reality). Exposed for tests and the
 // topology endpoint.
 func (g *Gate) Route(model string) (primary, secondary string) {
+	order := g.rankedOrder(model)
+	primary = order[0]
+	if len(order) > 1 {
+		secondary = order[1]
+	}
+	return primary, secondary
+}
+
+// rankedOrder is the ring's preference order for a key with healthy
+// replicas first; never empty for a non-empty fleet.
+func (g *Gate) rankedOrder(key string) []string {
 	f := g.cfg.Table.Fleet()
-	order := f.ring.Order(model, 0)
+	order := f.ring.Order(key, 0)
 	healthy := make([]string, 0, len(order))
 	for _, name := range order {
 		if g.cfg.Health.Up(name) {
@@ -172,13 +233,16 @@ func (g *Gate) Route(model string) (primary, secondary string) {
 		}
 	}
 	if len(healthy) == 0 {
-		healthy = order
+		return order
 	}
-	primary = healthy[0]
-	if len(healthy) > 1 {
-		secondary = healthy[1]
+	// Unhealthy replicas stay as trailing fallbacks: health probes lag
+	// reality, and a chunk retry may land after a replica recovered.
+	for _, name := range order {
+		if !g.cfg.Health.Up(name) {
+			healthy = append(healthy, name)
+		}
 	}
-	return primary, secondary
+	return healthy
 }
 
 // Handler returns the routing handler.
@@ -189,15 +253,15 @@ func (g *Gate) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if g.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			httpapi.Error(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
 		if !g.anyReplicaUp() {
-			http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
+			httpapi.Error(w, http.StatusServiceUnavailable, "no healthy replicas")
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -205,8 +269,25 @@ func (g *Gate) Handler() http.Handler {
 		g.cfg.Metrics.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /v1/topology", g.handleTopology)
+	mux.HandleFunc("/v1/topology", httpapi.MethodNotAllowed("GET"))
 	mux.HandleFunc("GET /v1/models", g.handleList)
+	mux.HandleFunc("/v1/models", httpapi.MethodNotAllowed("GET"))
+	mux.HandleFunc("POST /v1/score", g.handleScoreV1)
+	mux.HandleFunc("/v1/score", httpapi.MethodNotAllowed("POST"))
+	mux.HandleFunc("POST /v1/reload", g.handleReloadV1)
+	mux.HandleFunc("/v1/reload", httpapi.MethodNotAllowed("POST"))
 	mux.HandleFunc("/v1/models/", g.handleModel)
+	if g.jobs != nil {
+		api := &jobs.API{
+			Manager:      g.jobs,
+			MaxBodyBytes: g.cfg.JobsMaxBodyBytes,
+			// Structural invariants only at the edge; each chunk passes
+			// through the replicas' full sanitizer anyway.
+			Validate: func(ds fda.Dataset) error { return ds.Validate() },
+		}
+		api.Register(mux)
+	}
+	mux.HandleFunc("/", httpapi.NotFound)
 	return mux
 }
 
@@ -217,14 +298,6 @@ func (g *Gate) anyReplicaUp() bool {
 		}
 	}
 	return false
-}
-
-// jsonError mirrors the serve package's error body shape, so clients
-// see one error format whether they talk to a replica or the gate.
-func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // handleTopology renders the operator view: replicas, health and the
@@ -287,27 +360,51 @@ func (g *Gate) handleList(w http.ResponseWriter, r *http.Request) {
 		relay(w, resp)
 		return
 	}
-	jsonError(w, http.StatusBadGateway, "no healthy replica answered the model listing")
+	httpapi.Error(w, http.StatusBadGateway, "no healthy replica answered the model listing")
 }
 
-// handleModel routes /v1/models/{name}:score and :reload, mirroring the
-// replica URL surface so clients can point at a gate unchanged.
+// handleScoreV1 is the canonical scoring route POST /v1/score?model=.
+func (g *Gate) handleScoreV1(w http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		httpapi.Error(w, http.StatusBadRequest, "missing ?model= parameter")
+		return
+	}
+	g.handleScore(w, r, model)
+}
+
+// handleReloadV1 is the canonical reload route POST /v1/reload?model=.
+func (g *Gate) handleReloadV1(w http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		httpapi.Error(w, http.StatusBadRequest, "missing ?model= parameter")
+		return
+	}
+	g.handleReload(w, r, model)
+}
+
+// handleModel routes the legacy colon-verb aliases
+// /v1/models/{name}:score and :reload, mirroring the replica URL
+// surface so clients can point at a gate unchanged. Aliases run the
+// same handlers as the canonical routes plus a Deprecation header.
 func (g *Gate) handleModel(w http.ResponseWriter, r *http.Request) {
 	tail := strings.TrimPrefix(r.URL.Path, "/v1/models/")
 	name, action, hasAction := strings.Cut(tail, ":")
 	if name == "" || strings.Contains(name, "/") {
-		jsonError(w, http.StatusNotFound, "no such route %q", r.URL.Path)
+		httpapi.Error(w, http.StatusNotFound, "no such route %q", r.URL.Path)
 		return
 	}
 	switch {
 	case action == "score" && r.Method == http.MethodPost:
+		httpapi.MarkDeprecated(w)
 		g.handleScore(w, r, name)
 	case action == "reload" && r.Method == http.MethodPost:
+		httpapi.MarkDeprecated(w)
 		g.handleReload(w, r, name)
 	case hasAction && (action == "score" || action == "reload"):
-		jsonError(w, http.StatusMethodNotAllowed, "%s requires POST", action)
+		httpapi.Error(w, http.StatusMethodNotAllowed, "%s requires POST", action)
 	default:
-		jsonError(w, http.StatusNotFound, "unknown action %q", action)
+		httpapi.Error(w, http.StatusNotFound, "unknown action %q", action)
 	}
 }
 
@@ -319,7 +416,7 @@ func (g *Gate) handleReload(w http.ResponseWriter, r *http.Request, model string
 	results := make(map[string]string, f.ring.Len())
 	failures := 0
 	for _, name := range f.ring.Names() {
-		resp, err := g.client(name).Post(r.Context(), f.urls[name]+"/v1/models/"+model+":reload", "application/json", nil)
+		resp, err := g.client(name).Post(r.Context(), scoreURL(f.urls[name], "/v1/reload", model, nil), "application/json", nil)
 		if err != nil {
 			results[name] = err.Error()
 			failures++
@@ -341,6 +438,20 @@ func (g *Gate) handleReload(w http.ResponseWriter, r *http.Request, model string
 	json.NewEncoder(w).Encode(map[string]any{"model": model, "replicas": results})
 }
 
+// scoreURL builds a canonical upstream URL: base + path with model (and
+// any passthrough params) in the query string.
+func scoreURL(base, path, model string, passthrough map[string][]string) string {
+	q := url.Values{}
+	for key, vals := range passthrough {
+		if key == "model" {
+			continue
+		}
+		q[key] = vals
+	}
+	q.Set("model", model)
+	return base + path + "?" + q.Encode()
+}
+
 // inboundBody reads and caps the request body, returning the upstream
 // payload and its codec. JSON bodies are transcoded to the binary wire
 // frame unless JSONUpstream is set; wire bodies always pass through
@@ -350,10 +461,10 @@ func (g *Gate) inboundBody(w http.ResponseWriter, r *http.Request) (body []byte,
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			jsonError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			httpapi.Error(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 			return nil, "", http.StatusRequestEntityTooLarge
 		}
-		jsonError(w, http.StatusBadRequest, "read body: %v", err)
+		httpapi.Error(w, http.StatusBadRequest, "read body: %v", err)
 		return nil, "", http.StatusBadRequest
 	}
 	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
@@ -375,7 +486,7 @@ func (g *Gate) inboundBody(w http.ResponseWriter, r *http.Request) (body []byte,
 		Explain int `json:"explain,omitempty"`
 	}
 	if err := json.Unmarshal(raw, &req); err != nil {
-		jsonError(w, http.StatusBadRequest, "decode body: %v", err)
+		httpapi.Error(w, http.StatusBadRequest, "decode body: %v", err)
 		return nil, "", http.StatusBadRequest
 	}
 	ds := fda.Dataset{Samples: make([]fda.Sample, len(req.Samples))}
@@ -386,7 +497,7 @@ func (g *Gate) inboundBody(w http.ResponseWriter, r *http.Request) (body []byte,
 		// it here with the 400 a direct-to-replica sanitizer would give.
 		for k, col := range sm.Values {
 			if len(col) != len(sm.Times) {
-				jsonError(w, http.StatusBadRequest,
+				httpapi.Error(w, http.StatusBadRequest,
 					"sample %d: values[%d] has %d points but times has %d", i, k, len(col), len(sm.Times))
 				return nil, "", http.StatusBadRequest
 			}
@@ -418,7 +529,7 @@ func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
 	}
 	if berr != nil {
 		g.cfg.Metrics.ObserveDeadlineRejected()
-		jsonError(w, http.StatusBadRequest, "%v", berr)
+		httpapi.Error(w, http.StatusBadRequest, "%v", berr)
 		return http.StatusBadRequest
 	}
 	if budget == nil {
@@ -428,7 +539,7 @@ func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
 	}
 	if budget.Expired() {
 		g.cfg.Metrics.ObserveDeadlineExpired()
-		jsonError(w, http.StatusGatewayTimeout, "deadline in %s already expired", resilience.DeadlineHeader)
+		httpapi.Error(w, http.StatusGatewayTimeout, "deadline in %s already expired", resilience.DeadlineHeader)
 		return http.StatusGatewayTimeout
 	}
 	body, codec, errCode := g.inboundBody(w, r)
@@ -442,11 +553,7 @@ func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
 	f := g.cfg.Table.Fleet()
 	primary, secondary := g.Route(model)
 	target := func(name string) string {
-		u := f.urls[name] + "/v1/models/" + model + ":score"
-		if r.URL.RawQuery != "" {
-			u += "?" + r.URL.RawQuery
-		}
-		return u
+		return scoreURL(f.urls[name], "/v1/score", model, r.URL.Query())
 	}
 	leg := func(name string) func(ctx context.Context) (*http.Response, error) {
 		return func(ctx context.Context) (*http.Response, error) {
@@ -493,10 +600,10 @@ func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
 		// answer. 504 on a spent deadline or budget, 502 otherwise.
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, resilience.ErrBudgetExhausted) {
 			g.cfg.Metrics.ObserveDeadlineExpired()
-			jsonError(w, http.StatusGatewayTimeout, "fleet did not answer within %v", timeout)
+			httpapi.Error(w, http.StatusGatewayTimeout, "fleet did not answer within %v", timeout)
 			return http.StatusGatewayTimeout
 		}
-		jsonError(w, http.StatusBadGateway, "fleet error via %s: %v", primary, err)
+		httpapi.Error(w, http.StatusBadGateway, "fleet error via %s: %v", primary, err)
 		return http.StatusBadGateway
 	}
 	g.relayScore(w, resp)
@@ -507,6 +614,8 @@ func (g *Gate) score(w http.ResponseWriter, r *http.Request, model string) int {
 // (429/503) get a Retry-After derived from the gate's own pressure
 // window when that is more conservative than the replica's hint — the
 // gate sees the whole fleet's distress, one replica only its own.
+// Rewriting the header obligates rewriting the envelope body: the
+// relayed retry_after_ms must never contradict the relayed Retry-After.
 func (g *Gate) relayScore(w http.ResponseWriter, resp *http.Response) {
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 		hint := 0
@@ -516,13 +625,21 @@ func (g *Gate) relayScore(w http.ResponseWriter, resp *http.Response) {
 		if derived := g.cfg.Brownout.RetryAfter(); derived > hint {
 			hint = derived
 		}
-		resp.Header.Set("Retry-After", strconv.Itoa(hint))
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		ae := httpapi.ParseError(resp.StatusCode, raw)
+		if codec := resp.Header.Get(httpapi.CodecHeader); codec != "" {
+			w.Header().Set(httpapi.CodecHeader, codec)
+		}
+		httpapi.ErrorRetry(w, resp.StatusCode, ae.Code,
+			time.Duration(hint)*time.Second, "%s", ae.Message)
+		return
 	}
 	relay(w, resp)
 }
 
-// relay copies a replica response — status, content type, body — to the
-// client and closes it.
+// relay copies a replica response — status, content type, codec echo,
+// body — to the client and closes it.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
@@ -530,6 +647,9 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
+	}
+	if codec := resp.Header.Get(httpapi.CodecHeader); codec != "" {
+		w.Header().Set(httpapi.CodecHeader, codec)
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)

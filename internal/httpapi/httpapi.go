@@ -1,0 +1,199 @@
+// Package httpapi defines the v1 HTTP contract shared by every service
+// surface of the repository — the mfodserve replicas, the mfodgate
+// front tier and the async jobs API. Two things live here:
+//
+// First, the error envelope. Every 4xx/5xx response body repo-wide is
+// exactly one shape:
+//
+//	{"error": {"code": "overloaded", "message": "...", "retry_after_ms": 2000}}
+//
+// `code` is a stable machine-readable string from the Code* constants
+// (clients switch on it; the HTTP status alone conflates e.g. a spent
+// deadline 504 with an upstream 504), `message` is the operator-facing
+// explanation, and `retry_after_ms` appears exactly when the response
+// also carries a Retry-After header — same value, finer unit, so
+// clients that only read bodies still see honest backpressure hints.
+//
+// Second, the deprecation marker for legacy routes. The v1 surface is
+// `/v1/score`, `/v1/reload`, `/v1/models`, `/v1/topology`, `/v1/jobs…`;
+// the colon-verb paths (`/v1/models/{name}:score`, `:reload`) remain as
+// byte-identical aliases that additionally emit a `Deprecation: true`
+// header so traffic still on them is measurable and migratable.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Stable machine-readable error codes of the v1 envelope. Codes name the
+// *class* of failure, not the HTTP status: clients branch on these.
+const (
+	// CodeBadRequest: the request itself is malformed — undecodable
+	// body, bad query parameter, failed sanitization.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: no such route, model or job.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the route exists but not under this method.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeTooLarge: the body exceeded the configured byte cap.
+	CodeTooLarge = "payload_too_large"
+	// CodeUnprocessable: the request decoded cleanly but the model
+	// cannot score it (wrong dimension, explain without Standardize, …).
+	CodeUnprocessable = "unprocessable"
+	// CodeOverloaded: admission control shed the request (AIMD limit,
+	// full queue, job cap); retry after the advertised delay.
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable: the service is draining or not ready.
+	CodeUnavailable = "unavailable"
+	// CodeDeadlineExceeded: the propagated deadline budget expired
+	// before an answer existed.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeUpstream: a gateway could not get a usable answer from its
+	// fleet (transport failure, every leg down).
+	CodeUpstream = "upstream_error"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the inner object of the v1 error envelope.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMs mirrors the Retry-After header in milliseconds; 0
+	// (omitted) when the response carries no retry hint.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorBody is the v1 error envelope: every 4xx/5xx response body.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// CodeForStatus maps an HTTP status to the default envelope code, for
+// writers that have no more specific class to report.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	case http.StatusUnprocessableEntity:
+		return CodeUnprocessable
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
+	case http.StatusBadGateway:
+		return CodeUpstream
+	default:
+		return CodeInternal
+	}
+}
+
+// Error writes a v1 error envelope with the default code for status.
+func Error(w http.ResponseWriter, status int, format string, args ...any) {
+	ErrorCode(w, status, CodeForStatus(status), format, args...)
+}
+
+// ErrorCode writes a v1 error envelope with an explicit code.
+func ErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeEnvelope(w, status, ErrorDetail{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// ErrorRetry writes a v1 error envelope carrying a retry hint: the
+// Retry-After header (whole seconds, rounded up, at least 1) and the
+// same hint as retry_after_ms in the body.
+func ErrorRetry(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeEnvelope(w, status, ErrorDetail{
+		Code:         code,
+		Message:      fmt.Sprintf(format, args...),
+		RetryAfterMs: secs * 1000,
+	})
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, d ErrorDetail) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: d})
+}
+
+// APIError is the client-side decoding of a v1 error envelope: the
+// error type returned by internal/client (and any other consumer) for a
+// non-2xx response whose body parses as the envelope.
+type APIError struct {
+	Status       int
+	Code         string
+	Message      string
+	RetryAfterMs int64
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server error %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// ParseError decodes a non-2xx response body into an *APIError. A body
+// that is not a v1 envelope yields an APIError with the default code
+// for the status and the raw body as its message, so callers always get
+// a structured error back.
+func ParseError(status int, body []byte) *APIError {
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error.Code != "" {
+		return &APIError{
+			Status:       status,
+			Code:         eb.Error.Code,
+			Message:      eb.Error.Message,
+			RetryAfterMs: eb.Error.RetryAfterMs,
+		}
+	}
+	return &APIError{Status: status, Code: CodeForStatus(status), Message: string(body)}
+}
+
+// DeprecationHeader marks responses served through a legacy route
+// alias. The value is the constant "true" (RFC 9745 allows a boolean
+// form); the canonical route never sets it, which is what the
+// alias/canonical byte-equality tests key on — headers differ, bodies
+// must not.
+const DeprecationHeader = "Deprecation"
+
+// MarkDeprecated stamps the deprecation header for a legacy alias.
+func MarkDeprecated(w http.ResponseWriter) {
+	w.Header().Set(DeprecationHeader, "true")
+}
+
+// NotFound is the catch-all handler for unmatched routes, so even a
+// typo'd path gets the v1 envelope instead of the mux's plain text.
+func NotFound(w http.ResponseWriter, r *http.Request) {
+	Error(w, http.StatusNotFound, "no such route %q", r.URL.Path)
+}
+
+// MethodNotAllowed returns a handler for method-less route patterns
+// registered alongside their method-ful canonical forms: a request that
+// matches the path but not the method lands here and gets an enveloped
+// 405 with the Allow header, instead of the mux's plain-text default.
+func MethodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		Error(w, http.StatusMethodNotAllowed, "%s does not allow %s", r.URL.Path, r.Method)
+	}
+}
+
+// CodecHeader names the response header echoing which request codec the
+// serving hop actually decoded ("json" or "wire"). The gate relays it,
+// so a client — and the e2e suites — can assert the codec each internal
+// hop really spoke instead of trusting flag plumbing.
+const CodecHeader = "X-Mfod-Codec"

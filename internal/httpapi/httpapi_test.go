@@ -1,0 +1,121 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func decode(t *testing.T, body []byte) ErrorBody {
+	t.Helper()
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("body %q is not a v1 envelope: %v", body, err)
+	}
+	return eb
+}
+
+func TestCodeForStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+	}{
+		{http.StatusBadRequest, CodeBadRequest},
+		{http.StatusNotFound, CodeNotFound},
+		{http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{http.StatusRequestEntityTooLarge, CodeTooLarge},
+		{http.StatusUnprocessableEntity, CodeUnprocessable},
+		{http.StatusTooManyRequests, CodeOverloaded},
+		{http.StatusServiceUnavailable, CodeUnavailable},
+		{http.StatusGatewayTimeout, CodeDeadlineExceeded},
+		{http.StatusBadGateway, CodeUpstream},
+		{http.StatusInternalServerError, CodeInternal},
+		{http.StatusTeapot, CodeInternal},
+	}
+	for _, c := range cases {
+		if got := CodeForStatus(c.status); got != c.code {
+			t.Errorf("CodeForStatus(%d) = %q, want %q", c.status, got, c.code)
+		}
+	}
+}
+
+func TestErrorWritesEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Error(rec, http.StatusUnprocessableEntity, "dimension %d != %d", 2, 3)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	eb := decode(t, rec.Body.Bytes())
+	if eb.Error.Code != CodeUnprocessable {
+		t.Errorf("code = %q", eb.Error.Code)
+	}
+	if eb.Error.Message != "dimension 2 != 3" {
+		t.Errorf("message = %q", eb.Error.Message)
+	}
+	if eb.Error.RetryAfterMs != 0 {
+		t.Errorf("retry_after_ms = %d, want absent", eb.Error.RetryAfterMs)
+	}
+}
+
+func TestErrorRetrySetsHeaderAndBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	ErrorRetry(rec, http.StatusTooManyRequests, CodeOverloaded, 1500*time.Millisecond, "queue full")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	// 1.5s rounds up to a 2s Retry-After; the body mirrors the header
+	// value, not the pre-rounding duration.
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2", ra)
+	}
+	eb := decode(t, rec.Body.Bytes())
+	if eb.Error.RetryAfterMs != 2000 {
+		t.Errorf("retry_after_ms = %d, want 2000", eb.Error.RetryAfterMs)
+	}
+
+	// Sub-second hints are clamped to the 1-second floor of the header.
+	rec = httptest.NewRecorder()
+	ErrorRetry(rec, http.StatusServiceUnavailable, CodeUnavailable, 10*time.Millisecond, "draining")
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want 1", ra)
+	}
+	if eb := decode(t, rec.Body.Bytes()); eb.Error.RetryAfterMs != 1000 {
+		t.Errorf("retry_after_ms = %d, want 1000", eb.Error.RetryAfterMs)
+	}
+}
+
+func TestParseErrorRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	ErrorRetry(rec, http.StatusTooManyRequests, CodeOverloaded, 3*time.Second, "shed")
+	ae := ParseError(rec.Code, rec.Body.Bytes())
+	if ae.Status != http.StatusTooManyRequests || ae.Code != CodeOverloaded ||
+		ae.Message != "shed" || ae.RetryAfterMs != 3000 {
+		t.Fatalf("round trip mismatch: %+v", ae)
+	}
+	if ae.Error() == "" {
+		t.Fatal("empty Error()")
+	}
+}
+
+func TestParseErrorNonEnvelope(t *testing.T) {
+	ae := ParseError(http.StatusBadGateway, []byte("<html>nginx</html>"))
+	if ae.Code != CodeUpstream {
+		t.Errorf("code = %q, want default for 502", ae.Code)
+	}
+	if ae.Message != "<html>nginx</html>" {
+		t.Errorf("message = %q, want raw body", ae.Message)
+	}
+}
+
+func TestMarkDeprecated(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MarkDeprecated(rec)
+	if rec.Header().Get(DeprecationHeader) != "true" {
+		t.Fatalf("Deprecation header = %q", rec.Header().Get(DeprecationHeader))
+	}
+}

@@ -70,6 +70,13 @@ func (c *Client) Post(ctx context.Context, url, contentType string, body []byte)
 	return c.Do(ctx, http.MethodPost, url, contentType, body)
 }
 
+// PostAccept is Post with an explicit Accept header, for callers
+// negotiating a binary response representation (e.g. the gate asking a
+// replica for a partial-scores frame instead of JSON).
+func (c *Client) PostAccept(ctx context.Context, url, contentType, accept string, body []byte) (*http.Response, error) {
+	return c.do(ctx, http.MethodPost, url, contentType, accept, body)
+}
+
 // retain buffers a retryable response's (small) body in memory and
 // closes the network body, so the connection returns to the keep-alive
 // pool immediately and the response stays readable even after the
@@ -109,6 +116,10 @@ func remainingIn(ctx context.Context, b *Budget) (time.Duration, bool) {
 // there is no server answer at all: transport failures, an open
 // breaker, or a budget that expired before the first attempt.
 func (c *Client) Do(ctx context.Context, method, url, contentType string, body []byte) (*http.Response, error) {
+	return c.do(ctx, method, url, contentType, "", body)
+}
+
+func (c *Client) do(ctx context.Context, method, url, contentType, accept string, body []byte) (*http.Response, error) {
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
 		attempts = 4
@@ -182,6 +193,9 @@ func (c *Client) Do(ctx context.Context, method, url, contentType string, body [
 			return nil, err
 		}
 		req.Header.Set("Content-Type", contentType)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
 		if budget != nil {
 			budget.SetHeader(req.Header)
 		}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/httpapi"
 	"repro/internal/wire"
 )
 
@@ -115,11 +116,9 @@ func TestWireBodyErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
-			t.Fatalf("error body not JSON: %v", err)
+		var e httpapi.ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+			t.Fatalf("error body not a v1 envelope: %v (%+v)", err, e)
 		}
 		return resp.StatusCode
 	}

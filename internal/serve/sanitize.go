@@ -38,6 +38,18 @@ func (e *ValidationError) Error() string {
 
 func (e *ValidationError) Unwrap() error { return e.Err }
 
+// SanitizeDataset is the exported form of sanitizeDataset for the other
+// ingress surfaces (the jobs API on serve and gate) — same rules, one
+// sanitizer, and a nil error when the curves are safe. maxSamples here
+// bounds one *chunk*, not one job: a bulk submission is validated
+// per-chunk-sized slice by its caller.
+func SanitizeDataset(ds fda.Dataset, maxSamples, maxPoints int) error {
+	if verr := sanitizeDataset(ds, maxSamples, maxPoints); verr != nil {
+		return verr
+	}
+	return nil
+}
+
 // sanitizeDataset enforces the structural request limits and the fda
 // invariants — finite values, finite strictly increasing measurement
 // points, value rows matching the grid length, a uniform parameter count

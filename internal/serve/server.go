@@ -8,7 +8,6 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -17,6 +16,8 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fda"
 	"repro/internal/geometry"
+	"repro/internal/httpapi"
+	"repro/internal/jobs"
 	"repro/internal/resilience"
 	"repro/internal/wire"
 )
@@ -51,18 +52,37 @@ type Config struct {
 	// are shed with 429 and a Retry-After derived from queue pressure.
 	// Nil disables adaptive limiting (the bounded queue still applies).
 	Limiter *AIMD
-	Logger  *slog.Logger
+	// Jobs, when non-nil, mounts the async bulk-scoring endpoints
+	// (POST /v1/jobs and friends) backed by this manager. Typically the
+	// manager's Runner is a JobRunner over the same Registry and Pool.
+	Jobs *jobs.Manager
+	// JobsMaxSamples caps samples per bulk submission; 0 means 1<<20.
+	// The interactive MaxSamples cap does not apply to jobs — bulk is
+	// the point — but curves are still sanitized per submission.
+	JobsMaxSamples int
+	// JobsMaxBodyBytes caps the job submit body; 0 means 256 MiB.
+	JobsMaxBodyBytes int64
+	Logger           *slog.Logger
 }
 
-// Server exposes fitted pipelines over HTTP:
+// Server exposes fitted pipelines over HTTP. Canonical v1 surface:
 //
-//	POST /v1/models/{name}:score    score curves, optional explanations
-//	POST /v1/models/{name}:reload   atomic hot-reload from disk
+//	POST /v1/score?model={name}     score curves, optional explanations
+//	POST /v1/reload?model={name}    atomic hot-reload from disk
 //	GET  /v1/models                 list loaded models
 //	GET  /v1/models/{name}          one model's metadata
+//	POST /v1/jobs                   submit an async bulk-scoring job (when Config.Jobs set)
+//	GET  /v1/jobs/{id}              poll a job
+//	GET  /v1/jobs/{id}/results      stream job scores (resumable NDJSON)
+//	DELETE /v1/jobs/{id}            cancel a job
 //	GET  /healthz                   liveness (always 200 while up)
 //	GET  /readyz                    readiness (503 before models / while draining)
 //	GET  /metrics                   Prometheus text exposition
+//
+// The pre-v1 colon-verb routes POST /v1/models/{name}:score and
+// POST /v1/models/{name}:reload remain as aliases: same handlers, byte
+// identical bodies, plus a Deprecation header. Every 4xx/5xx on every
+// route carries the v1 error envelope (internal/httpapi).
 type Server struct {
 	cfg      Config
 	draining atomic.Bool
@@ -85,6 +105,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxPoints <= 0 {
 		cfg.MaxPoints = DefaultMaxPoints
 	}
+	if cfg.JobsMaxSamples <= 0 {
+		cfg.JobsMaxSamples = 1 << 20
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -104,15 +127,15 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			httpapi.Error(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
 		if s.cfg.Registry.Len() == 0 {
-			http.Error(w, "no models loaded", http.StatusServiceUnavailable)
+			httpapi.Error(w, http.StatusServiceUnavailable, "no models loaded")
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -120,15 +143,30 @@ func (s *Server) Handler() http.Handler {
 		s.cfg.Metrics.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /v1/models", s.handleList)
+	mux.HandleFunc("/v1/models", httpapi.MethodNotAllowed("GET"))
+	mux.HandleFunc("POST /v1/score", s.handleScoreV1)
+	mux.HandleFunc("/v1/score", httpapi.MethodNotAllowed("POST"))
+	mux.HandleFunc("POST /v1/reload", s.handleReloadV1)
+	mux.HandleFunc("/v1/reload", httpapi.MethodNotAllowed("POST"))
 	mux.HandleFunc("/v1/models/", s.handleModel)
+	if s.cfg.Jobs != nil {
+		api := &jobs.API{
+			Manager:      s.cfg.Jobs,
+			MaxBodyBytes: s.cfg.JobsMaxBodyBytes,
+			Validate: func(ds fda.Dataset) error {
+				return SanitizeDataset(ds, s.cfg.JobsMaxSamples, s.cfg.MaxPoints)
+			},
+			CheckModel: func(name string) error {
+				if _, ok := s.cfg.Registry.Get(name); !ok {
+					return ErrUnknownModel
+				}
+				return nil
+			},
+		}
+		api.Register(mux)
+	}
+	mux.HandleFunc("/", httpapi.NotFound)
 	return mux
-}
-
-// jsonError writes a JSON error body with the given status.
-func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -169,32 +207,64 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string][]modelInfo{"models": infos})
 }
 
-// handleModel routes /v1/models/{name}, /v1/models/{name}:score and
-// /v1/models/{name}:reload. The colon-verb suffix cannot be expressed
-// as a ServeMux wildcard, so the tail is parsed here.
+// modelParam extracts the canonical routes' ?model= parameter.
+func modelParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		httpapi.Error(w, http.StatusBadRequest, "missing ?model= parameter")
+		return "", false
+	}
+	return name, true
+}
+
+// handleScoreV1 is the canonical scoring route POST /v1/score?model=.
+func (s *Server) handleScoreV1(w http.ResponseWriter, r *http.Request) {
+	name, ok := modelParam(w, r)
+	if !ok {
+		return
+	}
+	s.handleScore(w, r, name)
+}
+
+// handleReloadV1 is the canonical reload route POST /v1/reload?model=.
+func (s *Server) handleReloadV1(w http.ResponseWriter, r *http.Request) {
+	name, ok := modelParam(w, r)
+	if !ok {
+		return
+	}
+	s.handleReload(w, r, name)
+}
+
+// handleModel routes GET /v1/models/{name} (canonical) and the two
+// colon-verb legacy aliases /v1/models/{name}:score|:reload. The colon
+// suffix cannot be expressed as a ServeMux wildcard, so the tail is
+// parsed here. Aliases run the exact same handlers as the canonical
+// routes — the only difference is the Deprecation header.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	tail := strings.TrimPrefix(r.URL.Path, "/v1/models/")
 	name, action, hasAction := strings.Cut(tail, ":")
 	if name == "" || strings.Contains(name, "/") {
-		jsonError(w, http.StatusNotFound, "no such route %q", r.URL.Path)
+		httpapi.Error(w, http.StatusNotFound, "no such route %q", r.URL.Path)
 		return
 	}
 	switch {
 	case !hasAction && r.Method == http.MethodGet:
 		m, ok := s.cfg.Registry.Get(name)
 		if !ok {
-			jsonError(w, http.StatusNotFound, "unknown model %q", name)
+			httpapi.Error(w, http.StatusNotFound, "unknown model %q", name)
 			return
 		}
 		writeJSON(w, describe(m))
 	case action == "score" && r.Method == http.MethodPost:
+		httpapi.MarkDeprecated(w)
 		s.handleScore(w, r, name)
 	case action == "reload" && r.Method == http.MethodPost:
+		httpapi.MarkDeprecated(w)
 		s.handleReload(w, r, name)
 	case hasAction && (action == "score" || action == "reload"):
-		jsonError(w, http.StatusMethodNotAllowed, "%s requires POST", action)
+		httpapi.Error(w, http.StatusMethodNotAllowed, "%s requires POST", action)
 	default:
-		jsonError(w, http.StatusNotFound, "unknown action %q", action)
+		httpapi.Error(w, http.StatusNotFound, "unknown action %q", action)
 	}
 }
 
@@ -205,12 +275,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, name strin
 	switch {
 	case errors.Is(err, ErrUnknownModel):
 		code = http.StatusNotFound
-		jsonError(w, code, "unknown model %q", name)
+		httpapi.Error(w, code, "unknown model %q", name)
 	case err != nil:
 		// The previous snapshot keeps serving; tell the operator why the
 		// swap was refused.
 		code = http.StatusInternalServerError
-		jsonError(w, code, "reload failed, previous model still serving: %v", err)
+		httpapi.Error(w, code, "reload failed, previous model still serving: %v", err)
 	default:
 		s.cfg.Metrics.ObserveReload(name)
 		writeJSON(w, map[string]string{"reloaded": name})
@@ -219,8 +289,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, name strin
 	s.log(r, name, code, start, 0)
 }
 
-// scoreRequest is the body of POST /v1/models/{name}:score. Samples use
-// the same shape as the dataset JSON files written by this repository.
+// scoreRequest is the body of the scoring routes. Samples use the same
+// shape as the dataset JSON files written by this repository.
 type scoreRequest struct {
 	Samples []struct {
 		Times  []float64   `json:"times"`
@@ -263,11 +333,13 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // anything else is the JSON body documented on scoreRequest — and
 // decodes the curves. A zero return code means success; otherwise the
 // error response has already been written. Either way the body size is
-// recorded under its codec label.
+// recorded under its codec label, and the X-Mfod-Codec response header
+// echoes which codec this hop actually decoded.
 func (s *Server) decodeScoreBody(w http.ResponseWriter, r *http.Request) (ds fda.Dataset, explain, code int) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
 	if strings.TrimSpace(ct) == wire.ContentType {
+		w.Header().Set(httpapi.CodecHeader, "wire")
 		raw, err := io.ReadAll(body)
 		if err != nil {
 			return ds, 0, bodyReadError(w, err)
@@ -275,11 +347,12 @@ func (s *Server) decodeScoreBody(w http.ResponseWriter, r *http.Request) (ds fda
 		s.cfg.Metrics.ObserveRequestBytes("wire", len(raw))
 		req, err := wire.DecodeRequest(raw)
 		if err != nil {
-			jsonError(w, http.StatusBadRequest, "decode body: %v", err)
+			httpapi.Error(w, http.StatusBadRequest, "decode body: %v", err)
 			return ds, 0, http.StatusBadRequest
 		}
 		return req.Dataset, req.Explain, 0
 	}
+	w.Header().Set(httpapi.CodecHeader, "json")
 	cr := &countingReader{r: body}
 	var req scoreRequest
 	if err := json.NewDecoder(cr).Decode(&req); err != nil {
@@ -301,11 +374,11 @@ func bodyReadError(w http.ResponseWriter, err error) int {
 		// MaxBytesReader has already stopped reading; answering with a
 		// JSON 413 instead of letting the decode error surface as a 400
 		// (or the connection reset a bare MaxBytesHandler gives).
-		jsonError(w, http.StatusRequestEntityTooLarge,
+		httpapi.Error(w, http.StatusRequestEntityTooLarge,
 			"request body exceeds %d bytes", tooBig.Limit)
 		return http.StatusRequestEntityTooLarge
 	}
-	jsonError(w, http.StatusBadRequest, "decode body: %v", err)
+	httpapi.Error(w, http.StatusBadRequest, "decode body: %v", err)
 	return http.StatusBadRequest
 }
 
@@ -338,11 +411,25 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request, name string
 // reflects measured queue pressure, and returns the status written.
 func (s *Server) shed(w http.ResponseWriter) int {
 	retryAfter := s.cfg.Pool.RetryAfter()
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	jsonError(w, http.StatusTooManyRequests,
+	httpapi.ErrorRetry(w, http.StatusTooManyRequests, httpapi.CodeOverloaded,
+		time.Duration(retryAfter)*time.Second,
 		"server overloaded (adaptive concurrency limit), retry in ~%ds", retryAfter)
 	s.cfg.Metrics.IncShed()
 	return http.StatusTooManyRequests
+}
+
+// wantsScoresFrame reports whether the client asked for the binary
+// partial-scores frame instead of the JSON response body.
+func wantsScoresFrame(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mt, _, _ := strings.Cut(part, ";")
+			if strings.TrimSpace(mt) == wire.ScoresContentType {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // score runs one scoring request and returns the status code it wrote.
@@ -351,16 +438,16 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 	// whose caller has already given up must cost nothing further.
 	budget, berr := resilience.BudgetFromHeader(r.Header)
 	if berr != nil {
-		jsonError(w, http.StatusBadRequest, "%v", berr)
+		httpapi.Error(w, http.StatusBadRequest, "%v", berr)
 		return http.StatusBadRequest, 0
 	}
 	if budget != nil && budget.Expired() {
-		jsonError(w, http.StatusGatewayTimeout, "deadline in %s already expired", resilience.DeadlineHeader)
+		httpapi.Error(w, http.StatusGatewayTimeout, "deadline in %s already expired", resilience.DeadlineHeader)
 		return http.StatusGatewayTimeout, 0
 	}
 	m, ok := s.cfg.Registry.Get(name)
 	if !ok {
-		jsonError(w, http.StatusNotFound, "unknown model %q", name)
+		httpapi.Error(w, http.StatusNotFound, "unknown model %q", name)
 		return http.StatusNotFound, 0
 	}
 	ds, explain, code := s.decodeScoreBody(w, r)
@@ -372,14 +459,14 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 	// codecs pass through here — the binary decoder checks frame shape,
 	// not curve invariants.
 	if verr := sanitizeDataset(ds, s.cfg.MaxSamples, s.cfg.MaxPoints); verr != nil {
-		jsonError(w, http.StatusBadRequest, "%v", verr)
+		httpapi.Error(w, http.StatusBadRequest, "%v", verr)
 		return http.StatusBadRequest, len(ds.Samples)
 	}
 	timeout := s.cfg.Timeout
 	if qs := r.URL.Query().Get("timeout"); qs != "" {
 		d, err := time.ParseDuration(qs)
 		if err != nil || d <= 0 {
-			jsonError(w, http.StatusBadRequest, "bad timeout %q", qs)
+			httpapi.Error(w, http.StatusBadRequest, "bad timeout %q", qs)
 			return http.StatusBadRequest, len(ds.Samples)
 		}
 		if d < timeout {
@@ -400,22 +487,23 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 	case errors.Is(err, ErrQueueFull):
 		// Retry-After reflects measured queue pressure — depth over drain
 		// rate — not a constant the client has no reason to trust.
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.Pool.RetryAfter()))
-		jsonError(w, http.StatusTooManyRequests, "scoring queue full, retry later")
+		ra := s.cfg.Pool.RetryAfter()
+		httpapi.ErrorRetry(w, http.StatusTooManyRequests, httpapi.CodeOverloaded,
+			time.Duration(ra)*time.Second, "scoring queue full, retry later")
 		return http.StatusTooManyRequests, len(ds.Samples)
 	case errors.Is(err, ErrPoolClosed):
-		jsonError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpapi.Error(w, http.StatusServiceUnavailable, "server shutting down")
 		return http.StatusServiceUnavailable, len(ds.Samples)
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		jsonError(w, http.StatusGatewayTimeout, "deadline expired before scoring started")
+		httpapi.Error(w, http.StatusGatewayTimeout, "deadline expired before scoring started")
 		return http.StatusGatewayTimeout, len(ds.Samples)
 	case err != nil:
-		jsonError(w, http.StatusInternalServerError, "enqueue: %v", err)
+		httpapi.Error(w, http.StatusInternalServerError, "enqueue: %v", err)
 		return http.StatusInternalServerError, len(ds.Samples)
 	}
 	res, done := job.Wait(ctx)
 	if !done || errors.Is(res.Err, context.DeadlineExceeded) {
-		jsonError(w, http.StatusGatewayTimeout, "scoring did not finish within %v", timeout)
+		httpapi.Error(w, http.StatusGatewayTimeout, "scoring did not finish within %v", timeout)
 		return http.StatusGatewayTimeout, len(ds.Samples)
 	}
 	if res.Err != nil {
@@ -426,8 +514,25 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 			// explain without Standardize, …): the request is at fault.
 			code = http.StatusUnprocessableEntity
 		}
-		jsonError(w, code, "score: %v", res.Err)
+		httpapi.Error(w, code, "score: %v", res.Err)
 		return code, len(ds.Samples)
+	}
+	if res.Explanations == nil && wantsScoresFrame(r) {
+		// Binary response path for the scatter/gather inner hop: the
+		// caller's ?start= is echoed into the frame so a chunk response
+		// can only merge at its own offset.
+		frameStart := 0
+		if qs := r.URL.Query().Get("start"); qs != "" {
+			if n, err := parseNonNegativeInt(qs); err == nil {
+				frameStart = n
+			} else {
+				httpapi.Error(w, http.StatusBadRequest, "bad start %q", qs)
+				return http.StatusBadRequest, len(ds.Samples)
+			}
+		}
+		w.Header().Set("Content-Type", wire.ScoresContentType)
+		w.Write(wire.EncodeScores(wire.Scores{Start: frameStart, Values: res.Scores}))
+		return http.StatusOK, len(ds.Samples)
 	}
 	resp := scoreResponse{
 		Model:     name,
@@ -446,6 +551,24 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request, name string, star
 	}
 	writeJSON(w, resp)
 	return http.StatusOK, len(ds.Samples)
+}
+
+// parseNonNegativeInt is strconv.Atoi restricted to >= 0.
+func parseNonNegativeInt(s string) (int, error) {
+	n := 0
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errors.New("not a non-negative integer")
+		}
+		n = n*10 + int(c-'0')
+		if n < 0 {
+			return 0, errors.New("overflow")
+		}
+	}
+	return n, nil
 }
 
 func (s *Server) log(r *http.Request, model string, code int, start time.Time, samples int) {

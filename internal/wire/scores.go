@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// ScoresContentType is the MIME type of the binary partial-scores frame
+// spoken on job-chunk responses between mfodserve replicas and the
+// mfodgate scatter/gather layer. The request direction reuses the curve
+// frame (ContentType); this is its response-side counterpart, carrying
+// raw float64 scores so a bulk job's inner hops never pay JSON number
+// formatting.
+const ScoresContentType = "application/x-mfod-scores"
+
+// scoresMagic marks a scores frame. Distinct from the request magic so
+// a frame fed to the wrong decoder fails on the first four bytes.
+var scoresMagic = [4]byte{'M', 'F', 'S', 0}
+
+// scoresHeaderSize is the fixed prefix before the score values:
+//
+//	offset size
+//	0      4     magic "MFS\x00"
+//	4      1     version (currently 1, shared with the request frame)
+//	5      3     reserved, must be zero
+//	8      8     start (uint64: absolute index of the first score)
+//	16     4     count (uint32)
+//	20     8×count scores, float64 LE
+const scoresHeaderSize = 20
+
+// Scores is one contiguous run of per-sample outlyingness scores: the
+// chunk's absolute offset in the job's sample order plus its values.
+// Carrying Start inside the frame (not just in the URL) means a
+// misrouted or replayed chunk response cannot be merged at the wrong
+// offset silently.
+type Scores struct {
+	Start  int
+	Values []float64
+}
+
+// EncodedScoresSize returns the exact frame size AppendScores produces
+// for n scores.
+func EncodedScoresSize(n int) int {
+	return scoresHeaderSize + 8*n
+}
+
+// EncodeScores renders s as one binary scores frame.
+func EncodeScores(s Scores) []byte {
+	return AppendScores(make([]byte, 0, EncodedScoresSize(len(s.Values))), s)
+}
+
+// AppendScores appends the frame encoding of s to dst and returns the
+// extended slice.
+func AppendScores(dst []byte, s Scores) []byte {
+	var b8 [8]byte
+	copy(b8[:4], scoresMagic[:])
+	b8[4] = Version
+	dst = append(dst, b8[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(max(s.Start, 0)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Values)))
+	for _, v := range s.Values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeScores parses one scores frame, with the same discipline as
+// DecodeRequest: the count prefix is validated against the bytes
+// actually present before the values slice is allocated, trailing bytes
+// are an error, and every failure wraps ErrWire.
+func DecodeScores(data []byte) (Scores, error) {
+	if len(data) < scoresHeaderSize {
+		return Scores{}, errf("scores frame of %d bytes is shorter than the %d-byte header", len(data), scoresHeaderSize)
+	}
+	if [4]byte(data[:4]) != scoresMagic {
+		return Scores{}, errf("bad scores magic % x (is the body really %s?)", data[:4], ScoresContentType)
+	}
+	if v := data[4]; v != Version {
+		return Scores{}, errf("unsupported scores frame version %d (this reader speaks %d)", v, Version)
+	}
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return Scores{}, errf("reserved scores header bytes are not zero")
+	}
+	start := binary.LittleEndian.Uint64(data[8:16])
+	count := binary.LittleEndian.Uint32(data[16:20])
+	rest := data[scoresHeaderSize:]
+	if uint64(count) != uint64(len(rest)/8) || len(rest)%8 != 0 {
+		return Scores{}, errf("scores frame claims %d values but carries %d trailing bytes", count, len(rest))
+	}
+	if start > math.MaxInt64 || uint64(int(start))+uint64(count) > math.MaxInt64 {
+		return Scores{}, errf("scores frame start %d overflows", start)
+	}
+	s := Scores{Start: int(start), Values: make([]float64, count)}
+	for i := range s.Values {
+		s.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i : 8*i+8]))
+	}
+	return s, nil
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestScoresRoundTrip(t *testing.T) {
+	in := Scores{
+		Start:  12345,
+		Values: []float64{0, 1.5, -2.25, math.Inf(1), math.NaN(), math.Copysign(0, -1)},
+	}
+	buf := EncodeScores(in)
+	if len(buf) != EncodedScoresSize(len(in.Values)) {
+		t.Fatalf("encoded %d bytes, EncodedScoresSize says %d", len(buf), EncodedScoresSize(len(in.Values)))
+	}
+	out, err := DecodeScores(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Start != in.Start {
+		t.Fatalf("start = %d, want %d", out.Start, in.Start)
+	}
+	if len(out.Values) != len(in.Values) {
+		t.Fatalf("len = %d, want %d", len(out.Values), len(in.Values))
+	}
+	for i := range in.Values {
+		// Bitwise, not numeric: NaN payloads and signed zeros must
+		// survive the trip untouched.
+		if math.Float64bits(out.Values[i]) != math.Float64bits(in.Values[i]) {
+			t.Errorf("value %d: %x != %x", i, math.Float64bits(out.Values[i]), math.Float64bits(in.Values[i]))
+		}
+	}
+}
+
+func TestScoresRoundTripEmpty(t *testing.T) {
+	out, err := DecodeScores(EncodeScores(Scores{Start: 7}))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Start != 7 || len(out.Values) != 0 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestDecodeScoresRejectsMalformed(t *testing.T) {
+	good := EncodeScores(Scores{Start: 3, Values: []float64{1, 2, 3}})
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:scoresHeaderSize-1] }},
+		{"request magic", func(b []byte) []byte { copy(b[:4], magic[:]); return b }},
+		{"bad version", func(b []byte) []byte { b[4] = Version + 1; return b }},
+		{"reserved bytes", func(b []byte) []byte { b[6] = 1; return b }},
+		{"count too large", func(b []byte) []byte { b[16] = 0xFF; return b }},
+		{"truncated values", func(b []byte) []byte { return b[:len(b)-4] }},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			buf := c.mangle(append([]byte(nil), good...))
+			if _, err := DecodeScores(buf); !errors.Is(err, ErrWire) {
+				t.Fatalf("want ErrWire, got %v", err)
+			}
+		})
+	}
+}
