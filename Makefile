@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve bench-slo bench-jobs fuzz check
+.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve bench-slo bench-jobs bench-streaming fuzz check
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ test-race:
 	$(GO) test -race ./internal/serve ./internal/gate ./internal/resilience \
 		./internal/core ./cmd/mfodserve ./cmd/mfodgate \
 		./internal/fda ./internal/geometry ./internal/parallel \
-		./internal/analysis
+		./internal/stream ./internal/analysis
 
 # Chaos gate: the fault-injection and resilience packages plus the serve
 # chaos suite (Chaos* tests arm faultinject points), under the race
@@ -78,9 +78,22 @@ bench-jobs:
 		-jobs-samples 512 -jobs-chunk 64 -jobs-max-ttfr 2s \
 		-jobs-max-p99 500ms -o BENCH_jobs.json
 
+# Streaming-ingestion benchmark: mfodload boots the hermetic fleet with
+# streaming enabled and completes live streams chunk-by-chunk through
+# the gate, each append piggybacking an early-warning score. Gates on a
+# streams/sec floor and on every completed stream's final score matching
+# the batch path bitwise. Writes BENCH_streaming.json; CI archives it.
+bench-streaming:
+	$(GO) run ./cmd/mfodload -streams 64 -self 3 -stream-chunk 10 \
+		-concurrency 16 -streams-min-rate 5 -o BENCH_streaming.json
+
 # 30-second fuzz smoke on the B-spline evaluator (knot-boundary and
 # derivative edge cases); the corpus lives in internal/bspline/testdata.
+# The stream-append fuzzer throws hostile HTTP bodies (NaN/Inf,
+# out-of-order, oversized, garbage) at the streaming surface and checks
+# envelope discipline plus a state-corruption oracle.
 fuzz:
 	$(GO) test -fuzz=FuzzBSplineEval -fuzztime=30s -run=^$$ ./internal/bspline
+	$(GO) test -fuzz=FuzzStreamAppend -fuzztime=30s -run=^$$ ./internal/stream
 
 check: build vet lint test test-race test-chaos

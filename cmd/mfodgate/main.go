@@ -24,6 +24,9 @@
 //	POST /v1/reload?model={name}   broadcast reload to every replica
 //	POST /v1/jobs                  async bulk scoring, chunks scatter/gathered across the fleet
 //	GET  /v1/jobs/{id}[/results]   poll / stream a job (resumable NDJSON)
+//	/v1/streams/{id}[/append|/score]  streaming ingestion, sharded by stream id — never
+//	                               hedged; transport failures fail over along the ring
+//	GET  /v1/streams               live stream ids gathered across the whole fleet
 //	GET  /v1/models                proxied model listing
 //	GET  /v1/topology              fleet, health and routing view
 //	GET  /healthz, /readyz         liveness / readiness

@@ -85,6 +85,12 @@ type loadOptions struct {
 	jobsChunk   int
 	jobsMaxTTFR time.Duration
 	jobsMaxP99  time.Duration
+
+	// Streaming-ingestion benchmark mode (-streams): N live streams
+	// driven chunk-by-chunk through the gate, gated on streams/sec.
+	streams        int
+	streamChunk    int
+	streamsMinRate float64
 }
 
 func main() {
@@ -108,7 +114,17 @@ func main() {
 	flag.IntVar(&o.jobsChunk, "jobs-chunk", 64, "chunk size for the bulk job (0 = gate default)")
 	flag.DurationVar(&o.jobsMaxTTFR, "jobs-max-ttfr", 5*time.Second, "fail the -jobs run when the first result takes longer than this (0 disables)")
 	flag.DurationVar(&o.jobsMaxP99, "jobs-max-p99", 0, "fail the -jobs run when interactive p99 under bulk load exceeds this (0 disables)")
+	flag.IntVar(&o.streams, "streams", 0, "run the streaming-ingestion benchmark: complete N streams through the -self fleet")
+	flag.IntVar(&o.streamChunk, "stream-chunk", 6, "points per append in -streams mode")
+	flag.Float64Var(&o.streamsMinRate, "streams-min-rate", 0, "fail the -streams run when completed streams/sec drops below this (0 disables)")
 	flag.Parse()
+	if o.streams > 0 {
+		if err := runStreams(o); err != nil {
+			fmt.Fprintln(os.Stderr, "mfodload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if o.jobs {
 		if err := runJobs(o); err != nil {
 			fmt.Fprintln(os.Stderr, "mfodload:", err)
@@ -493,7 +509,11 @@ func bootSelfFleet(n int, model string, popt serve.PoolOptions, healthInterval t
 			return nil, err
 		}
 		pool := serve.NewPool(popt)
-		srv, err := serve.NewServer(serve.Config{Registry: reg, Pool: pool, Logger: quiet})
+		streams, err := serve.NewStreamManager(reg, nil, serve.StreamOptions{})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := serve.NewServer(serve.Config{Registry: reg, Pool: pool, Streams: streams, Logger: quiet})
 		if err != nil {
 			return nil, err
 		}

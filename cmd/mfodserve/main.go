@@ -11,6 +11,8 @@
 //	          [-timeout 30s] [-max-body 33554432] [-quiet]
 //	          [-limit-max 256] [-limit-min 1] [-limit-target 250ms]
 //	          [-jobs=true] [-jobs-chunk 64] [-jobs-tokens 2] [-jobs-max 64]
+//	          [-streams=true] [-stream-window 0] [-stream-idle 5m]
+//	          [-stream-max 1024] [-stream-append-max 1024]
 //
 // Endpoints (every 4xx/5xx carries the v1 error envelope):
 //
@@ -18,6 +20,10 @@
 //	POST /v1/reload?model={name}   atomically re-read the model file
 //	POST /v1/jobs                  submit an async bulk-scoring job
 //	GET  /v1/jobs/{id}[/results]   poll / stream a job (resumable NDJSON)
+//	POST /v1/streams/{id}/append   append observations to a live stream
+//	GET  /v1/streams/{id}/score    early-warning partial-curve score (?watch=1 streams NDJSON)
+//	GET  /v1/streams[/{id}]        list live streams / one stream's status
+//	DELETE /v1/streams/{id}        close a stream
 //	GET  /v1/models                list loaded models
 //	GET  /healthz, /readyz         liveness / readiness
 //	GET  /metrics                  Prometheus text metrics
@@ -53,6 +59,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/serve"
+	"repro/internal/stream"
 )
 
 // listen binds the TCP listener separately from Serve so run can report
@@ -74,23 +81,28 @@ func (m *modelFlags) Set(v string) error {
 // serveOptions collects every flag plus the test-only ready channel, so
 // tests can drive the binary without a process boundary.
 type serveOptions struct {
-	addr        string
-	models      []string
-	workers     int
-	queue       int
-	batch       int
-	maxBody     int64
-	timeout     time.Duration
-	limitMax    int
-	limitMin    int
-	limitTarget time.Duration
-	jobsEnable  bool
-	jobsChunk   int
-	jobsTokens  int
-	jobsMax     int
-	quiet       bool
-	faults      string        // MFOD_FAULTS spec, armed before serving
-	ready       chan<- string // tests only: receives the bound address
+	addr         string
+	models       []string
+	workers      int
+	queue        int
+	batch        int
+	maxBody      int64
+	timeout      time.Duration
+	limitMax     int
+	limitMin     int
+	limitTarget  time.Duration
+	jobsEnable   bool
+	jobsChunk    int
+	jobsTokens   int
+	jobsMax      int
+	streams      bool
+	streamWin    int
+	streamIdle   time.Duration
+	streamMax    int
+	streamAppend int
+	quiet        bool
+	faults       string        // MFOD_FAULTS spec, armed before serving
+	ready        chan<- string // tests only: receives the bound address
 }
 
 func main() {
@@ -109,6 +121,11 @@ func main() {
 	flag.IntVar(&o.jobsChunk, "jobs-chunk", 0, "default samples per bulk-job chunk (0 = 64)")
 	flag.IntVar(&o.jobsTokens, "jobs-tokens", 0, "concurrent chunks one bulk job may hold in the pool (0 = 2; bounds bulk pressure on interactive traffic)")
 	flag.IntVar(&o.jobsMax, "jobs-max", 0, "job-table capacity; full => 429 (0 = 64)")
+	flag.BoolVar(&o.streams, "streams", true, "serve the streaming-ingestion API (/v1/streams)")
+	flag.IntVar(&o.streamWin, "stream-window", 0, "sliding window: keep only the newest N observations per stream (0 = keep all)")
+	flag.DurationVar(&o.streamIdle, "stream-idle", 0, "evict streams idle this long (0 = 5m)")
+	flag.IntVar(&o.streamMax, "stream-max", 0, "live-stream table capacity; full => 429 (0 = 1024)")
+	flag.IntVar(&o.streamAppend, "stream-append-max", 0, "max points per append request (0 = 1024)")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress request logging")
 	flag.Var(&models, "model", "name=path of a saved pipeline; repeatable")
 	flag.Parse()
@@ -187,6 +204,24 @@ func run(o serveOptions) error {
 			jobsMgr.Close()
 		}
 	}
+	var streamsMgr *stream.Manager
+	if o.streams {
+		var err error
+		streamsMgr, err = serve.NewStreamManager(registry, metrics, serve.StreamOptions{
+			MaxStreams: o.streamMax,
+			Window:     o.streamWin,
+			MaxAppend:  o.streamAppend,
+			IdleTTL:    o.streamIdle,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	closeStreams := func() {
+		if streamsMgr != nil {
+			streamsMgr.Close()
+		}
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Registry:     registry,
 		Pool:         pool,
@@ -196,6 +231,7 @@ func run(o serveOptions) error {
 		Limiter:      limiter,
 		Logger:       logger,
 		Jobs:         jobsMgr,
+		Streams:      streamsMgr,
 	})
 	if err != nil {
 		return err
@@ -219,6 +255,7 @@ func run(o serveOptions) error {
 
 	select {
 	case err := <-errc:
+		closeStreams()
 		closeJobs()
 		pool.Close()
 		return err
@@ -234,6 +271,7 @@ func run(o serveOptions) error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
 	}
+	closeStreams()
 	closeJobs()
 	pool.Close()
 	return nil

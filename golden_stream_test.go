@@ -1,0 +1,125 @@
+// Golden layer for the streaming path: each Figure-1 curve is replayed
+// through the incremental per-stream fitter and its early-warning
+// scores at 25/50/75/100% coverage are pinned in
+// testdata/golden_stream_scores.json. The trajectory — not just the
+// endpoint — is the contract: a change that shifts how partial-curve
+// evidence accumulates shows up here even when the final score
+// survives. Regenerate after an intentional numeric change with:
+//
+//	go test -run TestGoldenStreamScores -update .
+package repro_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/iforest"
+)
+
+const goldenStreamPath = "testdata/golden_stream_scores.json"
+
+// goldenStreamFractions are the coverage checkpoints pinned per curve.
+var goldenStreamFractions = []float64{0.25, 0.50, 0.75, 1.00}
+
+// goldenStreamScores replays every Figure-1 curve through the
+// incremental fitter, recording the partial score at each checkpoint.
+func goldenStreamScores(t *testing.T) [][]float64 {
+	t.Helper()
+	d := goldenDataset()
+	pipe := experiments.CurvmapPipeline(iforest.New(iforest.Options{Trees: 300, SampleSize: 64, Seed: 1}))
+	if err := pipe.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	out := make([][]float64, len(d.Samples))
+	for i, s := range d.Samples {
+		inc, err := pipe.NewIncremental(len(s.Values))
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		n := len(s.Times)
+		traj := make([]float64, 0, len(goldenStreamFractions))
+		at := 0
+		for _, frac := range goldenStreamFractions {
+			upto := int(frac * float64(n))
+			if upto > n {
+				upto = n
+			}
+			for ; at < upto; at++ {
+				v := make([]float64, len(s.Values))
+				for k := range s.Values {
+					v[k] = s.Values[k][at]
+				}
+				if err := inc.Append(s.Times[at], v); err != nil {
+					t.Fatalf("sample %d append %d: %v", i, at, err)
+				}
+			}
+			fit, err := inc.Fit()
+			if err != nil {
+				t.Fatalf("sample %d fit at %.0f%%: %v", i, frac*100, err)
+			}
+			lo, hi, ok := inc.Span()
+			if !ok {
+				t.Fatalf("sample %d: empty span at %.0f%%", i, frac*100)
+			}
+			score, _, _, err := pipe.ScorePartialFit(fit, lo, hi)
+			if err != nil {
+				t.Fatalf("sample %d partial score at %.0f%%: %v", i, frac*100, err)
+			}
+			traj = append(traj, score)
+		}
+		// The completed stream must land exactly on the batch path — the
+		// equivalence contract, asserted on raw bits before pinning.
+		batch, err := pipe.ScoreOne(s)
+		if err != nil {
+			t.Fatalf("sample %d batch score: %v", i, err)
+		}
+		if math.Float64bits(traj[len(traj)-1]) != math.Float64bits(batch) {
+			t.Fatalf("sample %d: full-coverage stream score %.17g != batch %.17g",
+				i, traj[len(traj)-1], batch)
+		}
+		out[i] = traj
+	}
+	return out
+}
+
+func TestGoldenStreamScores(t *testing.T) {
+	got := goldenStreamScores(t)
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(goldenStreamPath, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenStreamPath)
+		return
+	}
+	blob, err := os.ReadFile(goldenStreamPath)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	var want [][]float64
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenStreamPath, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("fixture pins %d curves, computed %d", len(want), len(got))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("curve %d: %d checkpoints, fixture has %d", i, len(got[i]), len(want[i]))
+		}
+		for k := range want[i] {
+			tol := goldenTolerance * math.Max(1, math.Abs(want[i][k]))
+			if diff := math.Abs(got[i][k] - want[i][k]); diff > tol {
+				t.Errorf("curve %d at %.0f%%: %.17g, golden %.17g (|Δ| = %g > %g)",
+					i, goldenStreamFractions[k]*100, got[i][k], want[i][k], diff, tol)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/faultinject"
 	"repro/internal/fda"
@@ -243,6 +244,81 @@ func (p *Pipeline) Grid() []float64 {
 	out := make([]float64, len(p.grid))
 	copy(out, p.grid)
 	return out
+}
+
+// Domain returns the basis domain chosen at Fit time.
+func (p *Pipeline) Domain() (lo, hi float64) {
+	return p.gridLo, p.gridHi
+}
+
+// NewIncremental starts an empty incremental fitter bound to this
+// pipeline's smoothing options and fixed training domain, for streams
+// that accumulate one observation at a time (internal/stream). The
+// fitter is not itself concurrent-safe; the pipeline stays read-only.
+func (p *Pipeline) NewIncremental(dim int) (*fda.Incremental, error) {
+	if !p.fitted {
+		return nil, fmt.Errorf("core: pipeline not fitted: %w", ErrPipeline)
+	}
+	if dim < p.Mapping.MinDim() {
+		return nil, fmt.Errorf("core: mapping %s needs p >= %d parameters, stream has %d: %w",
+			p.Mapping.Name(), p.Mapping.MinDim(), dim, ErrPipeline)
+	}
+	opt := p.smoothOptions()
+	if !opt.HasDomain() {
+		opt.Lo, opt.Hi = p.gridLo, p.gridHi
+	}
+	return fda.NewIncremental(dim, opt)
+}
+
+// ScorePartialFit scores a partially observed curve fitted over the
+// sub-domain [lo, hi] of the training domain: the early-warning path of
+// internal/stream. The fit is mapped on the full training grid exactly
+// like a complete curve; grid features outside the observed sub-domain
+// are then pinned to the training mean (zero in standardized space), so
+// the detector judges only what has actually been seen and the score
+// widens smoothly as data lands. It returns the score plus the
+// inclusive grid-index window [gridFrom, gridTo] the features were kept
+// on; once the sub-domain covers the grid the arithmetic is identical
+// to ScoreOne's. Requires Standardize: without training statistics
+// there is no mean-neutral masking value.
+func (p *Pipeline) ScorePartialFit(fit *fda.Fit, lo, hi float64) (score float64, gridFrom, gridTo int, err error) {
+	if !p.fitted {
+		return 0, 0, 0, fmt.Errorf("core: pipeline not fitted: %w", ErrPipeline)
+	}
+	if p.featMean == nil {
+		return 0, 0, 0, fmt.Errorf("core: partial scoring requires a Standardize-fitted pipeline: %w", ErrPipeline)
+	}
+	if err := faultinject.Hit(FaultScore); err != nil {
+		return 0, 0, 0, err
+	}
+	if !(lo <= hi) {
+		return 0, 0, 0, fmt.Errorf("core: empty sub-domain [%g, %g]: %w", lo, hi, ErrPipeline)
+	}
+	feat, err := p.Mapping.Map(fit, p.grid)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: mapping: %w", err)
+	}
+	if len(feat) != len(p.featMean) {
+		return 0, 0, 0, fmt.Errorf("core: feature length %d, trained %d: %w",
+			len(feat), len(p.featMean), ErrPipeline)
+	}
+	// gridFrom is the first grid point >= lo, gridTo the last <= hi;
+	// sort.Search keeps the boundary logic free of exact float
+	// comparisons.
+	gridFrom = sort.Search(len(p.grid), func(i int) bool { return !(p.grid[i] < lo) })
+	gridTo = sort.Search(len(p.grid), func(i int) bool { return p.grid[i] > hi }) - 1
+	for j := range feat {
+		if j >= gridFrom && j <= gridTo {
+			feat[j] = (feat[j] - p.featMean[j]) / p.featScale[j]
+		} else {
+			feat[j] = 0
+		}
+	}
+	scores, err := p.Detector.ScoreBatch([][]float64{feat})
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: detector score: %w", err)
+	}
+	return scores[0], gridFrom, gridTo, nil
 }
 
 // featureStats returns per-column means and scales (standard deviation,

@@ -149,6 +149,26 @@ func (c *BasisCache) fitEntryFor(dim, order, q int, lo, hi float64, ts []float64
 	return e
 }
 
+// lookupFitEntry returns the resident entry for the exact grid when one
+// is already cached, or nil. Unlike fitEntryFor it never populates the
+// cache: a growing stream passes through a different prefix grid on
+// every refit, and inserting each one would grow the cache without
+// bound. The incremental fitter uses this to ride entries the batch
+// path already built (identical grids share λ factorizations) while
+// keeping its own transient Gram state for everything else.
+func (c *BasisCache) lookupFitEntry(dim, order, q int, lo, hi float64, ts []float64) *fitEntry {
+	key := fitKey{dim: dim, order: order, q: q, lo: lo, hi: hi, m: len(ts), tsHash: hashFloats(ts)}
+	c.mu.Lock()
+	e, ok := c.fits[key]
+	c.mu.Unlock()
+	if ok && sameFloats(e.ts, ts) {
+		c.hits.Add(1)
+		return e
+	}
+	c.misses.Add(1)
+	return nil
+}
+
 // spanDesign returns the memoized compact design of the basis on ts at
 // the given derivative order, building it on first use. A key collision
 // returns nil and the caller evaluates transiently.

@@ -81,9 +81,15 @@ func bootReplica(t *testing.T, modelPath string, slow bool) *httptest.Server {
 	}
 	pool := serve.NewPool(serve.PoolOptions{Workers: 2, QueueCap: 128})
 	t.Cleanup(pool.Close)
+	streams, err := serve.NewStreamManager(reg, nil, serve.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(streams.Close)
 	srv, err := serve.NewServer(serve.Config{
 		Registry: reg,
 		Pool:     pool,
+		Streams:  streams,
 		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {

@@ -88,6 +88,8 @@ type Config struct {
 //	GET  /v1/topology               current fleet, routing and health view
 //	POST /v1/jobs                   async bulk scoring, scatter/gathered (EnableJobs)
 //	GET  /v1/jobs/{id}[/results]    poll / stream a job
+//	/v1/streams/{id}/...            streaming ingestion, sharded by stream id (never hedged)
+//	GET  /v1/streams                live stream ids gathered across the fleet
 //	GET  /healthz                   gate liveness
 //	GET  /readyz                    503 until a replica is healthy / while draining
 //	GET  /metrics                   Prometheus text exposition
@@ -277,6 +279,8 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/reload", g.handleReloadV1)
 	mux.HandleFunc("/v1/reload", httpapi.MethodNotAllowed("POST"))
 	mux.HandleFunc("/v1/models/", g.handleModel)
+	mux.HandleFunc("/v1/streams", g.handleStreams)
+	mux.HandleFunc("/v1/streams/", g.handleStreams)
 	if g.jobs != nil {
 		api := &jobs.API{
 			Manager:      g.jobs,

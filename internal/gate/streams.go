@@ -1,0 +1,222 @@
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+// handleStreams fronts the replicas' streaming-ingestion surface.
+// Streams shard by *stream id* (not model name) through the same
+// consistent-hash ring as models, so every append and score for one
+// stream lands on the same replica and its incremental state stays in
+// one place. Unlike scoring, stream requests are never hedged: an
+// append raced against two replicas would split the stream's history
+// across both. Failover is sequential instead — on a transport error
+// the gate walks the ring order to the next replica, and because
+// clients send the model name on every append, the stream is recreated
+// there transparently (losing only the dead replica's buffered points,
+// which the writer's next appends refill).
+func (g *Gate) handleStreams(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := g.streamProxy(w, r)
+	g.cfg.Metrics.ObserveRequest("(stream)", code, time.Since(start).Seconds())
+	g.cfg.Logger.Info("request",
+		"method", r.Method, "path", r.URL.Path, "code", code,
+		"durMs", float64(time.Since(start).Microseconds())/1000)
+}
+
+func (g *Gate) streamProxy(w http.ResponseWriter, r *http.Request) int {
+	tail := strings.TrimPrefix(r.URL.Path, "/v1/streams")
+	tail = strings.TrimPrefix(tail, "/")
+	id, op, _ := strings.Cut(tail, "/")
+	if id == "" {
+		if r.Method != http.MethodGet {
+			httpapi.MethodNotAllowed("GET")(w, r)
+			return http.StatusMethodNotAllowed
+		}
+		return g.streamList(w, r)
+	}
+	allow := ""
+	switch op {
+	case "":
+		allow = "GET, DELETE"
+	case "append":
+		allow = "POST"
+	case "score":
+		allow = "GET"
+	default:
+		httpapi.Error(w, http.StatusNotFound, "no such route %q", r.URL.Path)
+		return http.StatusNotFound
+	}
+	if !strings.Contains(allow, r.Method) {
+		httpapi.MethodNotAllowed(allow)(w, r)
+		return http.StatusMethodNotAllowed
+	}
+
+	var body []byte
+	if op == "append" {
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpapi.ErrorCode(w, http.StatusRequestEntityTooLarge, httpapi.CodeTooLarge,
+					"append body exceeds %d bytes", tooBig.Limit)
+				return http.StatusRequestEntityTooLarge
+			}
+			httpapi.Error(w, http.StatusBadRequest, "read body: %v", err)
+			return http.StatusBadRequest
+		}
+		body = raw
+	}
+
+	order := g.rankedOrder(id)
+	f := g.cfg.Table.Fleet()
+	target := func(name string) string {
+		u := f.urls[name] + r.URL.Path
+		if q := r.URL.RawQuery; q != "" {
+			u += "?" + q
+		}
+		return u
+	}
+	if op == "score" && r.URL.Query().Get("watch") != "" {
+		return g.streamWatch(w, r, id, order, target)
+	}
+
+	contentType := r.Header.Get("Content-Type")
+	if contentType == "" {
+		contentType = "application/json"
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+	var lastErr error
+	for _, name := range order {
+		resp, err := g.client(name).Do(ctx, r.Method, target(name), contentType, body)
+		g.cfg.Metrics.ObserveReplica(name, err == nil)
+		if err != nil {
+			if ctx.Err() != nil {
+				httpapi.Error(w, http.StatusGatewayTimeout, "fleet did not answer within %v", g.cfg.Timeout)
+				return http.StatusGatewayTimeout
+			}
+			// Transport-level failure only: an HTTP answer — any status —
+			// is authoritative for this stream's home and is relayed as-is.
+			lastErr = err
+			continue
+		}
+		relay(w, resp)
+		return resp.StatusCode
+	}
+	httpapi.ErrorCode(w, http.StatusBadGateway, httpapi.CodeUpstream,
+		"stream %q: no replica answered: %v", id, lastErr)
+	return http.StatusBadGateway
+}
+
+// streamWatch relays an NDJSON watch. The request context (not the gate
+// timeout) bounds it — a watch lives as long as the client wants — and
+// every read is flushed through immediately so early-warning events
+// reach the watcher as they happen. Failover applies only to the
+// initial connect; once bytes have flowed, a broken upstream ends the
+// watch and the client reconnects (through the gate, which routes the
+// reconnect to the stream's new home).
+func (g *Gate) streamWatch(w http.ResponseWriter, r *http.Request, id string, order []string, target func(string) string) int {
+	client := g.cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var lastErr error
+	for _, name := range order {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target(name), nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := client.Do(req)
+		g.cfg.Metrics.ObserveReplica(name, err == nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		flusher, _ := w.(http.Flusher)
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return resp.StatusCode
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			if rerr != nil {
+				return resp.StatusCode
+			}
+		}
+	}
+	httpapi.ErrorCode(w, http.StatusBadGateway, httpapi.CodeUpstream,
+		"stream %q: no replica answered the watch: %v", id, lastErr)
+	return http.StatusBadGateway
+}
+
+// streamList gathers the live stream ids across the whole fleet:
+// streams shard by id, so no single replica knows the full set.
+// Replicas that fail to answer are skipped — the list is a best-effort
+// operator view, not a transactional one.
+func (g *Gate) streamList(w http.ResponseWriter, r *http.Request) int {
+	f := g.cfg.Table.Fleet()
+	client := g.cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+	seen := make(map[string]bool)
+	answered := 0
+	for _, name := range f.ring.Names() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.urls[name]+"/v1/streams", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		var view struct {
+			Streams []string `json:"streams"`
+		}
+		decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&view)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			continue
+		}
+		answered++
+		for _, id := range view.Streams {
+			seen[id] = true
+		}
+	}
+	if answered == 0 {
+		httpapi.ErrorCode(w, http.StatusBadGateway, httpapi.CodeUpstream,
+			"no replica answered the stream listing")
+		return http.StatusBadGateway
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"streams": ids, "active": len(ids)})
+	return http.StatusOK
+}

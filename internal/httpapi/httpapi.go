@@ -168,6 +168,10 @@ func ParseError(status int, body []byte) *APIError {
 // form); the canonical route never sets it, which is what the
 // alias/canonical byte-equality tests key on — headers differ, bodies
 // must not.
+// NDJSONContentType is the content type of the line-delimited JSON
+// streaming responses (bulk-job results, stream score-event watches).
+const NDJSONContentType = "application/x-ndjson"
+
 const DeprecationHeader = "Deprecation"
 
 // MarkDeprecated stamps the deprecation header for a legacy alias.

@@ -259,7 +259,7 @@ func (a *API) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		cursor = n
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", httpapi.NDJSONContentType)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	flush := func() {

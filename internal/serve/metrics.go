@@ -55,6 +55,13 @@ type Metrics struct {
 	wasted     atomic.Uint64
 	queueDepth func() int // registered gauge; nil until a pool attaches
 	limit      func() int // registered gauge; nil until a limiter attaches
+	// Streaming-tier series, registered when a stream.Manager attaches:
+	// the live-stream gauge plus the append/eviction/refit counters the
+	// manager accumulates.
+	streamsActive  func() int
+	streamAppends  func() uint64
+	streamsEvicted func() uint64
+	streamFits     func() uint64
 
 	mu       sync.Mutex
 	requests map[reqKey]uint64
@@ -208,6 +215,18 @@ func (m *Metrics) RegisterConcurrencyLimit(fn func() int) {
 	}
 }
 
+// RegisterStreams installs the streaming-tier series read at scrape
+// time: the live-stream gauge and the manager's append/eviction/refit
+// counters. Call once during wiring, before serving.
+func (m *Metrics) RegisterStreams(active func() int, appends, evicted, fits func() uint64) {
+	if m != nil {
+		m.streamsActive = active
+		m.streamAppends = appends
+		m.streamsEvicted = evicted
+		m.streamFits = fits
+	}
+}
+
 // WritePrometheus renders every series in the Prometheus text format.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	if m == nil {
@@ -310,6 +329,27 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintln(w, "# HELP mfod_concurrency_limit Current adaptive concurrency limit.")
 		fmt.Fprintln(w, "# TYPE mfod_concurrency_limit gauge")
 		fmt.Fprintf(w, "mfod_concurrency_limit %d\n", m.limit())
+	}
+
+	if m.streamsActive != nil {
+		fmt.Fprintln(w, "# HELP mfod_streams_active Live ingestion streams.")
+		fmt.Fprintln(w, "# TYPE mfod_streams_active gauge")
+		fmt.Fprintf(w, "mfod_streams_active %d\n", m.streamsActive())
+	}
+	if m.streamAppends != nil {
+		fmt.Fprintln(w, "# HELP mfod_stream_appends_total Observations accepted across all streams.")
+		fmt.Fprintln(w, "# TYPE mfod_stream_appends_total counter")
+		fmt.Fprintf(w, "mfod_stream_appends_total %d\n", m.streamAppends())
+	}
+	if m.streamsEvicted != nil {
+		fmt.Fprintln(w, "# HELP mfod_streams_evicted_total Idle streams reclaimed by the janitor.")
+		fmt.Fprintln(w, "# TYPE mfod_streams_evicted_total counter")
+		fmt.Fprintf(w, "mfod_streams_evicted_total %d\n", m.streamsEvicted())
+	}
+	if m.streamFits != nil {
+		fmt.Fprintln(w, "# HELP mfod_stream_fits_total Incremental refits performed by stream scoring.")
+		fmt.Fprintln(w, "# TYPE mfod_stream_fits_total counter")
+		fmt.Fprintf(w, "mfod_stream_fits_total %d\n", m.streamFits())
 	}
 }
 

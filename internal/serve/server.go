@@ -19,6 +19,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/jobs"
 	"repro/internal/resilience"
+	"repro/internal/stream"
 	"repro/internal/wire"
 )
 
@@ -62,7 +63,14 @@ type Config struct {
 	JobsMaxSamples int
 	// JobsMaxBodyBytes caps the job submit body; 0 means 256 MiB.
 	JobsMaxBodyBytes int64
-	Logger           *slog.Logger
+	// Streams, when non-nil, mounts the streaming-ingestion endpoints
+	// (POST /v1/streams/{id}/append and friends) backed by this manager;
+	// see NewStreamManager for registry/metrics wiring.
+	Streams *stream.Manager
+	// StreamsMaxBodyBytes caps one append body; 0 means 1 MiB (bulk
+	// history loads belong on /v1/jobs, not the append path).
+	StreamsMaxBodyBytes int64
+	Logger              *slog.Logger
 }
 
 // Server exposes fitted pipelines over HTTP. Canonical v1 surface:
@@ -161,6 +169,19 @@ func (s *Server) Handler() http.Handler {
 					return ErrUnknownModel
 				}
 				return nil
+			},
+		}
+		api.Register(mux)
+	}
+	if s.cfg.Streams != nil {
+		api := &stream.API{
+			Manager:      s.cfg.Streams,
+			MaxBodyBytes: s.cfg.StreamsMaxBodyBytes,
+			Admit:        s.streamAdmit,
+			Observe: func(code int, dur time.Duration) {
+				// One constant label keeps the per-model cardinality of
+				// mfod_requests_total away from per-stream explosion.
+				s.cfg.Metrics.ObserveRequest("(stream)", code, dur.Seconds())
 			},
 		}
 		api.Register(mux)

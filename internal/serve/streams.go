@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/stream"
+)
+
+// StreamOptions configures the serving tier's streaming-ingestion
+// manager; zero values select the stream package defaults.
+type StreamOptions struct {
+	// MaxStreams caps concurrent live streams (full => 429).
+	MaxStreams int
+	// Window keeps only the newest N observations per stream (sliding
+	// window for drifting baselines); 0 keeps everything.
+	Window int
+	// MaxAppend caps points per append request.
+	MaxAppend int
+	// IdleTTL evicts streams untouched for this long.
+	IdleTTL time.Duration
+}
+
+// NewStreamManager builds a stream.Manager resolving model names
+// through the registry and registers its series with the metrics
+// registry (the mfod_streams_active gauge and companion counters).
+// Stream creation pins the pipeline snapshot the first append saw; a
+// hot-reload affects new streams only, exactly like in-flight scoring.
+func NewStreamManager(reg *Registry, metrics *Metrics, opt StreamOptions) (*stream.Manager, error) {
+	mgr, err := stream.NewManager(stream.Options{
+		Resolve: func(name string) (stream.Model, bool) {
+			m, ok := reg.Get(name)
+			if !ok {
+				return nil, false
+			}
+			return m.Pipeline(), true
+		},
+		MaxStreams: opt.MaxStreams,
+		Window:     opt.Window,
+		MaxAppend:  opt.MaxAppend,
+		IdleTTL:    opt.IdleTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if metrics != nil {
+		metrics.RegisterStreams(mgr.Active, mgr.AppendsTotal, mgr.EvictedTotal, mgr.FitsTotal)
+	}
+	return mgr, nil
+}
+
+// streamAdmit is the admission hook the server wires into the stream
+// API: the serve.shed fault point sheds appends exactly like it sheds
+// interactive scoring, so chaos suites can drive overload on the
+// streaming path too.
+func (s *Server) streamAdmit() error {
+	if err := faultinject.Hit(FaultShed); err != nil {
+		s.cfg.Metrics.IncShed()
+		return err
+	}
+	return nil
+}
