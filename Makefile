@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test test-race test-chaos bench bench-hotpath bench-serve bench-slo bench-jobs bench-streaming fuzz check
+.PHONY: build vet lint lint-audit test test-race test-chaos bench bench-hotpath bench-serve bench-slo bench-jobs bench-streaming fuzz check
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,18 @@ vet:
 	$(GO) vet ./...
 
 # Custom static analysis (internal/analysis via cmd/mfodlint): the
-# nodeterminism / floateq / mutafterfit / poolmisuse invariants, with
+# numeric-core invariants (nodeterminism / floateq / mutafterfit /
+# poolmisuse) plus the distributed-tier invariants (ctxpropagate /
+# envelopediscipline / lockio / wirebounds / metricshygiene), with
 # //mfodlint:allow escape hatches that must carry a reason. See the
-# README "Static analysis" section.
+# README "Static analysis" section and the DESIGN.md invariant table.
 lint:
 	$(GO) run ./cmd/mfodlint ./...
+
+# Audit the suppression directives themselves: list every live
+# //mfodlint:allow with its reason, fail on stale or malformed ones.
+lint-audit:
+	$(GO) run ./cmd/mfodlint -audit ./...
 
 test:
 	$(GO) test ./...

@@ -8,7 +8,10 @@
 // root. The exit status is 1 when any unsuppressed finding exists, so
 // CI can gate on it; -json emits the full report — suppressed findings
 // and their //mfodlint:allow reasons included — for artifact upload and
-// review.
+// review. -changed <ref> restricts analysis to packages with Go files
+// touched since a git ref (the PR lint-diff mode); -audit lists every
+// live suppression with its reason and fails on unused or malformed
+// directives.
 package main
 
 import (
@@ -18,7 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -41,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit the full report (suppressed findings included) as JSON")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("C", "", "run from this directory instead of the enclosing module root")
+	changed := fs.String("changed", "", "lint-diff mode: analyze only packages with Go files changed since this git ref")
+	audit := fs.Bool("audit", false, "audit //mfodlint:allow directives: list every suppression with its reason and fail on unused or malformed directives")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,14 +68,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	pkgs, err := analysis.Load(root, fs.Args())
+	patterns := fs.Args()
+	if *changed != "" {
+		pats, err := changedPackages(root, *changed)
+		if err != nil {
+			fmt.Fprintln(stderr, "mfodlint:", err)
+			return 2
+		}
+		if len(pats) == 0 {
+			fmt.Fprintf(stdout, "mfodlint: no Go files changed since %s\n", *changed)
+			return 0
+		}
+		patterns = pats
+	}
+
+	pkgs, err := analysis.Load(root, patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "mfodlint:", err)
 		return 2
 	}
-	findings := analysis.RunAnalyzers(pkgs, analysis.All())
+	// Relative paths keep the output clickable from the module root,
+	// where CI and make invoke the linter.
+	findings := analysis.Rel(analysis.RunAnalyzers(pkgs, analysis.All()), root)
 	active := analysis.Active(findings)
 
+	if *audit {
+		return runAudit(findings, stdout, stderr)
+	}
 	if *jsonOut {
 		rep := report{
 			Findings:   findings,
@@ -92,6 +119,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runAudit reports on the tree's //mfodlint:allow directives: every
+// live suppression is listed with its justification, and any directive
+// finding — unused, malformed, reason-free or naming an unknown
+// analyzer — fails the audit. CI runs this beside the full lint so a
+// suppression can never outlive or outrun its reason.
+func runAudit(findings []analysis.Finding, stdout, stderr io.Writer) int {
+	bad := 0
+	for _, f := range findings {
+		if f.Analyzer == analysis.DirectiveCheck && !f.Suppressed {
+			bad++
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			fmt.Fprintf(stdout, "allow %s at %s:%d: %s\n", f.Analyzer, f.File, f.Line, f.Reason)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "mfodlint: %d directive problem(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// changedPackages maps the Go files touched since ref to the package
+// patterns that contain them, so CI's lint-diff step analyzes only what
+// a PR changed. Deleted directories and testdata fixtures (not loadable
+// as ordinary packages) are skipped; an empty result means no Go change.
+func changedPackages(root, ref string) ([]string, error) {
+	out, err := exec.Command("git", "-C", root, "diff", "--name-only", ref, "--", "*.go").Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff --name-only %s: %s", ref, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff --name-only %s: %w", ref, err)
+	}
+	dirs := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !strings.HasSuffix(line, ".go") {
+			continue
+		}
+		d := filepath.ToSlash(filepath.Dir(line))
+		if d == "testdata" || strings.Contains(d, "/testdata") {
+			continue
+		}
+		if fi, err := os.Stat(filepath.Join(root, filepath.FromSlash(d))); err != nil || !fi.IsDir() {
+			continue // package deleted along with its files
+		}
+		dirs["./"+d] = true
+	}
+	pats := make([]string, 0, len(dirs))
+	for d := range dirs {
+		pats = append(pats, d)
+	}
+	sort.Strings(pats)
+	return pats, nil
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod,

@@ -17,6 +17,21 @@
 //     internal/parallel, internal/serve and internal/resilience, and
 //     slices filled by a parallel.For worker are not consumed before
 //     the parallel.FirstError check.
+//   - ctxpropagate: the serving packages derive every context from the
+//     inbound request or a resilience.Budget — no fresh roots and no
+//     context-free outbound HTTP on a request path (DESIGN.md §8).
+//   - envelopediscipline: handler packages send every error response
+//     through the internal/httpapi v1 envelope — no http.Error, raw
+//     WriteHeader(4xx|5xx), or free-text error bodies.
+//   - lockio: no blocking operation — channel traffic, selects without
+//     default, sleeps, WaitGroup joins, network calls, abstract-stream
+//     I/O — while a sync.Mutex or RWMutex is held.
+//   - wirebounds: length-prefixed decoders bounds-check every decoded
+//     count before it sizes an allocation and do size arithmetic in a
+//     wide type (the wire.decodeSample wrap class from the PR 6 review).
+//   - metricshygiene: Prometheus families are mfod-namespaced, declared
+//     exactly once with a valid kind, and every written series matches
+//     its family's kind.
 //
 // The suite is built only on the standard library (go/ast, go/parser,
 // go/types, go/token) so the module stays dependency-free. Findings can
@@ -36,7 +51,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Finding is one diagnostic produced by an analyzer, addressed by
@@ -111,44 +129,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	// Packages are analyzed independently, so fan out over the same pool
+	// the numeric code uses. Each worker fills only its own index and the
+	// merge below walks the slice in order, so the result is byte-for-byte
+	// what the old sequential loop produced.
+	perPkg := make([][]Finding, len(pkgs))
+	parallel.For(len(pkgs), 0, func(_, i int) {
+		perPkg[i] = analyzePackage(pkgs[i], analyzers, known)
+	})
 	var all []Finding
-	for _, pkg := range pkgs {
-		dirs, bad := collectDirectives(pkg, known)
-		all = append(all, bad...)
-
-		var raw []Finding
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Path:     pkg.Path,
-				findings: &raw,
-			}
-			a.Run(pass)
-		}
-		for i := range raw {
-			if d := dirs.match(raw[i].Analyzer, raw[i].File, raw[i].Line); d != nil {
-				raw[i].Suppressed = true
-				raw[i].Reason = d.reason
-				d.used = true
-			}
-		}
-		all = append(all, raw...)
-		for _, d := range dirs.all {
-			if !d.used {
-				all = append(all, Finding{
-					Analyzer: DirectiveCheck,
-					File:     d.file,
-					Line:     d.line,
-					Col:      d.col,
-					Message: fmt.Sprintf(
-						"unused //mfodlint:allow %s directive: it suppresses nothing on this or the next line; delete it or move it to the finding", d.analyzer),
-				})
-			}
-		}
+	for _, fs := range perPkg {
+		all = append(all, fs...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].File != all[j].File {
@@ -163,6 +154,63 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		return all[i].Analyzer < all[j].Analyzer
 	})
 	return all
+}
+
+// analyzePackage runs every analyzer over one package and applies that
+// package's allow directives: the unit of work one pool worker handles.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Finding {
+	dirs, bad := collectDirectives(pkg, known)
+	all := bad
+
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+	for i := range raw {
+		if d := dirs.match(raw[i].Analyzer, raw[i].File, raw[i].Line); d != nil {
+			raw[i].Suppressed = true
+			raw[i].Reason = d.reason
+			d.used = true
+		}
+	}
+	all = append(all, raw...)
+	for _, d := range dirs.all {
+		if !d.used {
+			all = append(all, Finding{
+				Analyzer: DirectiveCheck,
+				File:     d.file,
+				Line:     d.line,
+				Col:      d.col,
+				Message: fmt.Sprintf(
+					"unused //mfodlint:allow %s directive: it suppresses nothing on this or the next line; delete it or move it to the finding", d.analyzer),
+			})
+		}
+	}
+	return all
+}
+
+// Rel returns a copy of findings with file paths rewritten relative to
+// root, turning the absolute loader positions into the short clickable
+// `internal/pkg/file.go:line:col` form CI logs and test failures print.
+// Paths that cannot be made relative are kept as-is.
+func Rel(findings []Finding, root string) []Finding {
+	out := make([]Finding, len(findings))
+	for i, f := range findings {
+		if rel, err := filepath.Rel(root, f.File); err == nil {
+			f.File = rel
+		}
+		out[i] = f
+	}
+	return out
 }
 
 // Active returns the findings that fail the build: everything not

@@ -1,7 +1,19 @@
 package analysis
 
 // All returns the full analyzer suite in the order diagnostics are
-// documented in README ("Static analysis").
+// documented in README ("Static analysis"): the four numeric-core
+// analyzers from the original mfodlint, then the five distributed-tier
+// analyzers that extend the same guarantees to the serving stack.
 func All() []*Analyzer {
-	return []*Analyzer{Nodeterminism, Floateq, Mutafterfit, Poolmisuse}
+	return []*Analyzer{
+		Nodeterminism,
+		Floateq,
+		Mutafterfit,
+		Poolmisuse,
+		Ctxpropagate,
+		Envelopediscipline,
+		Lockio,
+		Wirebounds,
+		Metricshygiene,
+	}
 }

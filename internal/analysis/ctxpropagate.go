@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// servingPkgs are the distributed-tier packages on a request path: every
+// outbound HTTP call they make must carry a context derived from the
+// inbound request (r.Context()) or from a propagated resilience.Budget,
+// so the end-to-end deadline machinery of DESIGN.md §8 cannot be
+// silently bypassed by one hop. Matched by import-path base so fixture
+// packages under testdata participate.
+var servingPkgs = map[string]bool{
+	"serve":  true,
+	"gate":   true,
+	"jobs":   true,
+	"stream": true,
+	"client": true,
+}
+
+// ctxlessHTTPFuncs are the net/http package-level helpers that issue a
+// request with no context at all; a request path must never use them.
+var ctxlessHTTPFuncs = map[string]bool{
+	"Get":      true,
+	"Head":     true,
+	"Post":     true,
+	"PostForm": true,
+}
+
+// Ctxpropagate enforces deadline propagation through the serving tier
+// (internal/serve, internal/gate, internal/jobs, internal/stream,
+// internal/client): no fresh root contexts (context.Background,
+// context.TODO) and no context-free outbound HTTP (http.Get/Post/
+// Head/PostForm, http.NewRequest) on a request path. Contexts must
+// derive from the inbound *http.Request or a resilience.Budget so the
+// X-Mfod-Deadline-Ms budget bounds every hop (DESIGN.md §8). The rare
+// legitimate root contexts — janitors, health probers, job supervisors
+// whose lifetime exceeds any one request — take an allow directive
+// naming what bounds them instead.
+var Ctxpropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Doc: "forbid context.Background/context.TODO and context-free outbound " +
+		"HTTP (http.Get/Post/Head/PostForm, http.NewRequest) in the serving " +
+		"packages (serve, gate, jobs, stream, client); derive contexts from " +
+		"the inbound request or a resilience.Budget (DESIGN.md §8)",
+	Run: runCtxpropagate,
+}
+
+func runCtxpropagate(p *Pass) {
+	if !servingPkgs[pathBase(p.Path)] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "context":
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					p.Reportf(call.Pos(),
+						"context.%s on a request path: serving-tier contexts must derive from the inbound request or a resilience.Budget so the propagated deadline bounds every hop (DESIGN.md §8); background lifecycles need an allow directive naming what bounds them", fn.Name())
+				}
+			case "net/http":
+				if recvIsNil(fn) && ctxlessHTTPFuncs[fn.Name()] {
+					p.Reportf(call.Pos(),
+						"http.%s issues a request with no context: the propagated deadline cannot bound this hop; build the request with http.NewRequestWithContext or go through resilience.Client (DESIGN.md §8)", fn.Name())
+				}
+				if recvIsNil(fn) && fn.Name() == "NewRequest" {
+					p.Reportf(call.Pos(),
+						"http.NewRequest builds a context-free request: use http.NewRequestWithContext with a context derived from the inbound request or budget (DESIGN.md §8)")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// handlerPkgs are the packages that write HTTP responses directly. Every
+// 4xx/5xx they emit must be the v1 error envelope from internal/httpapi
+// ({"error":{"code","message","retry_after_ms"}}), so clients can switch
+// on stable machine codes no matter which tier answered. The httpapi
+// package itself (the envelope implementation) is exempt by omission.
+var handlerPkgs = map[string]bool{
+	"serve":  true,
+	"gate":   true,
+	"jobs":   true,
+	"stream": true,
+}
+
+// Envelopediscipline enforces the v1 error-envelope contract in the
+// handler packages (internal/serve, internal/gate, internal/jobs,
+// internal/stream): no http.Error or http.NotFound (plain-text bodies),
+// no raw WriteHeader with a constant 4xx/5xx status, and no fmt.Fprint*
+// error bodies written to a ResponseWriter after such a WriteHeader.
+// All error responses go through internal/httpapi (Error, ErrorCode,
+// ErrorRetry, NotFound, MethodNotAllowed), which is also what keeps the
+// retry_after_ms body field and the Retry-After header telling the same
+// story. Relayed upstream statuses (WriteHeader(resp.StatusCode)) are
+// out of scope: the upstream hop already wrote the envelope.
+var Envelopediscipline = &Analyzer{
+	Name: "envelopediscipline",
+	Doc: "forbid http.Error, http.NotFound and raw WriteHeader(4xx|5xx) in the " +
+		"handler packages (serve, gate, jobs, stream); every error response " +
+		"goes through the internal/httpapi v1 envelope so machine codes and " +
+		"retry hints stay stable across tiers",
+	Run: runEnvelopediscipline,
+}
+
+func runEnvelopediscipline(p *Pass) {
+	if !handlerPkgs[pathBase(p.Path)] {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEnvelopeFunc(p, fd.Body)
+		}
+	}
+}
+
+func checkEnvelopeFunc(p *Pass, body *ast.BlockStmt) {
+	// Position of the first raw error-status WriteHeader seen in this
+	// function: fmt.Fprint* to a ResponseWriter after it is the classic
+	// hand-rolled error body.
+	var errHeaderPos ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "net/http" && recvIsNil(fn) &&
+			(fn.Name() == "Error" || fn.Name() == "NotFound"):
+			p.Reportf(call.Pos(),
+				"http.%s writes a plain-text error body: error responses from the serving tier must be the v1 envelope; use httpapi.Error / httpapi.ErrorCode / httpapi.NotFound instead (internal/httpapi)", fn.Name())
+		case fn.Name() == "WriteHeader" && !recvIsNil(fn) && len(call.Args) == 1:
+			if status, ok := constStatus(p, call.Args[0]); ok && status >= 400 {
+				errHeaderPos = call
+				p.Reportf(call.Pos(),
+					"raw WriteHeader(%d): a 4xx/5xx must carry the v1 error envelope body; use httpapi.Error / httpapi.ErrorCode / httpapi.ErrorRetry instead (internal/httpapi)", status)
+			}
+		case fn.Pkg().Path() == "fmt" && recvIsNil(fn) &&
+			(fn.Name() == "Fprintf" || fn.Name() == "Fprintln" || fn.Name() == "Fprint") &&
+			len(call.Args) > 0 && isResponseWriter(p, call.Args[0]) &&
+			errHeaderPos != nil && call.Pos() > errHeaderPos.Pos():
+			p.Reportf(call.Pos(),
+				"fmt.%s writes a hand-rolled error body to the ResponseWriter: clients parse the v1 envelope, not free text; use internal/httpapi", fn.Name())
+		}
+		return true
+	})
+}
+
+// constStatus evaluates an expression to a compile-time integer HTTP
+// status, covering both literals and the http.Status* constants.
+func constStatus(p *Pass, e ast.Expr) (int, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return int(v), ok
+}
+
+// isResponseWriter reports whether e's static type is the
+// net/http.ResponseWriter interface (or an alias of it).
+func isResponseWriter(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}

@@ -135,6 +135,38 @@ func TestPoolmisuseFixture(t *testing.T) {
 	wantSuppressed(t, findings, 1)
 }
 
+func TestCtxpropagateFixture(t *testing.T) {
+	findings := checkFixture(t, "client", Ctxpropagate)
+	wantSuppressed(t, findings, 1) // Janitor background root
+}
+
+func TestCtxpropagateSkipsNonServingPackages(t *testing.T) {
+	findings := checkFixture(t, "other", Ctxpropagate)
+	if len(findings) != 0 {
+		t.Errorf("ctxpropagate findings outside the serving packages: %v", findings)
+	}
+}
+
+func TestEnvelopedisciplineFixture(t *testing.T) {
+	findings := checkFixture(t, "stream", Envelopediscipline)
+	wantSuppressed(t, findings, 1) // Probe raw status
+}
+
+func TestLockioFixture(t *testing.T) {
+	findings := checkFixture(t, "locks", Lockio)
+	wantSuppressed(t, findings, 1) // AllowedHandoff buffered send
+}
+
+func TestWireboundsFixture(t *testing.T) {
+	findings := checkFixture(t, "decoder", Wirebounds)
+	wantSuppressed(t, findings, 1) // AllowedProbe uint16-capped buffer
+}
+
+func TestMetricshygieneFixture(t *testing.T) {
+	findings := checkFixture(t, "metricspkg", Metricshygiene)
+	wantSuppressed(t, findings, 1) // RenderAllowed legacy series
+}
+
 // TestFixtureViolationPositions locks the acceptance contract that
 // fixture violations come back with usable file:line positions.
 func TestFixtureViolationPositions(t *testing.T) {

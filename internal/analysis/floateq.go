@@ -17,7 +17,8 @@ import (
 // constant-folded comparisons with no runtime operand.
 var Floateq = &Analyzer{
 	Name: "floateq",
-	Doc: "forbid == / != on float32/float64 operands except literal-zero, " +
+	Doc: "forbid == / != on float operands — including named float types and " +
+		"comparable arrays/structs with float fields — except literal-zero, " +
 		"math.Inf/math.NaN, and x != x NaN-idiom comparisons; use a tolerance " +
 		"(DESIGN.md, 1e-12 convention)",
 	Run: runFloateq,
@@ -57,8 +58,33 @@ func isFloatExpr(p *Pass, e ast.Expr) bool {
 	if !ok || tv.Type == nil {
 		return false
 	}
-	b, ok := tv.Type.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsFloat != 0
+	return containsFloat(tv.Type, 0)
+}
+
+// containsFloat reports whether == on a value of type t compares any
+// float bits: scalar floats and complexes (through named types and
+// aliases — `type Score float64` underlies to a float), and comparable
+// composites with a float somewhere inside ([2]float64 keys, point
+// structs). Struct/array equality compares fields element-wise, so the
+// composite comparison is exactly as order-of-evaluation fragile as the
+// scalar one. depth caps pathological self-referential types.
+func containsFloat(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Array:
+		return containsFloat(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func isConst(p *Pass, e ast.Expr) bool {

@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockio forbids operations that can block indefinitely while a
+// sync.Mutex or sync.RWMutex is held: blocking channel sends/receives
+// (selects with a default clause are non-blocking and exempt), selects
+// without a default, time.Sleep, sync.WaitGroup.Wait, outbound network
+// calls (net/http client calls, resilience.Client methods, net.Dial*),
+// and stream I/O to an abstract io.Writer/io.Reader whose dynamic type
+// may be a network peer (fmt.Fprint* / io.Copy / io.WriteString /
+// io.ReadAll on interface-typed arguments; writes to a concrete
+// *bytes.Buffer or *strings.Builder are in-memory and fine). A critical
+// section that blocks turns every other request sharing the mutex —
+// the per-stream and registry mutexes the chaos suites stress — into a
+// convoy behind one slow peer.
+//
+// The analysis is a per-function walk: Lock/RLock adds the receiver to
+// the held set, Unlock/RUnlock removes it, `defer Unlock` holds it to
+// the end of the function, and branches are scanned with a copy of the
+// set so an early `mu.Unlock(); return` arm cannot poison the main
+// path. Function literals are separate activations and are scanned as
+// their own scopes. Local file I/O (os.Open and friends) is
+// deliberately not in the blocking set: the rule targets unbounded
+// waits on peers and schedulers, not bounded disk reads.
+var Lockio = &Analyzer{
+	Name: "lockio",
+	Doc: "forbid blocking operations while holding a sync.Mutex/RWMutex: " +
+		"channel sends/receives, selects without default, time.Sleep, " +
+		"WaitGroup.Wait, network client calls, and stream I/O to abstract " +
+		"io.Writer/io.Reader targets; critical sections must not wait on peers",
+	Run: runLockio,
+}
+
+func runLockio(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanLockScopes(p, fd.Body)
+			}
+		}
+	}
+}
+
+// scanLockScopes walks one function body as a lock scope, then recurses
+// into every nested function literal as an independent scope.
+func scanLockScopes(p *Pass, body *ast.BlockStmt) {
+	walkLocked(p, body, map[string]bool{})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scanLockScopes(p, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// walkLocked walks the statements of one block in order, tracking which
+// mutexes are held. held maps the mutex receiver's expression string
+// ("m.mu", "p.rateMu") to true while locked.
+func walkLocked(p *Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range block.List {
+		walkStmt(p, stmt, held)
+	}
+}
+
+func walkStmt(p *Pass, stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if mx, op := mutexOp(p, s.X); mx != "" {
+			switch op {
+			case "Lock", "RLock":
+				held[mx] = true
+			case "Unlock", "RUnlock":
+				delete(held, mx)
+			}
+			return
+		}
+		checkBlocking(p, s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held for the rest of the
+		// function — exactly what the linear walk models by not removing
+		// it. Other deferred calls run after the body; skip them.
+		if _, op := mutexOp(p, s.Call); op != "" {
+			return
+		}
+		checkBlocking(p, s.Call, held)
+	case *ast.BlockStmt:
+		walkLocked(p, s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(p, s.Init, held)
+		}
+		checkBlocking(p, s.Cond, held)
+		walkLocked(p, s.Body, cloneHeld(held))
+		if s.Else != nil {
+			walkStmt(p, s.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkStmt(p, s.Init, held)
+		}
+		if s.Cond != nil {
+			checkBlocking(p, s.Cond, held)
+		}
+		walkLocked(p, s.Body, cloneHeld(held))
+	case *ast.RangeStmt:
+		checkBlocking(p, s.X, held)
+		walkLocked(p, s.Body, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkStmt(p, s.Init, held)
+		}
+		if s.Tag != nil {
+			checkBlocking(p, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sub := cloneHeld(held)
+				for _, st := range cc.Body {
+					walkStmt(p, st, sub)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sub := cloneHeld(held)
+				for _, st := range cc.Body {
+					walkStmt(p, st, sub)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) == 0 {
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					sub := cloneHeld(held)
+					for _, st := range cc.Body {
+						walkStmt(p, st, sub)
+					}
+				}
+			}
+			return
+		}
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			p.Reportf(s.Pos(),
+				"select without a default clause while holding %s: the critical section blocks until a peer is ready, convoying every other holder of the mutex", heldNames(held))
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sub := cloneHeld(held)
+				for _, st := range cc.Body {
+					walkStmt(p, st, sub)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		walkStmt(p, s.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine body is its own activation; the launch itself
+		// never blocks.
+	default:
+		checkBlockingInStmt(p, stmt, held)
+	}
+}
+
+func cloneHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// Deterministic order for messages and tests.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// checkBlockingInStmt scans a leaf statement's expressions (assignments,
+// returns, send statements) for blocking operations.
+func checkBlockingInStmt(p *Pass, stmt ast.Stmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.SendStmt:
+		p.Reportf(s.Arrow,
+			"channel send while holding %s: the send blocks until a receiver is ready, convoying every other holder of the mutex; release the lock first or use a buffered, non-blocking handoff", heldNames(held))
+		checkBlocking(p, s.Value, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			checkBlocking(p, rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkBlocking(p, r, held)
+		}
+	case *ast.IncDecStmt, *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		if ds, ok := stmt.(*ast.DeclStmt); ok {
+			checkBlocking(p, nil, held)
+			_ = ds
+		}
+	}
+}
+
+// checkBlocking scans one expression tree for blocking operations while
+// held is non-empty, without descending into function literals.
+func checkBlocking(p *Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.Reportf(n.Pos(),
+					"channel receive while holding %s: the receive blocks until a sender is ready, convoying every other holder of the mutex; release the lock first", heldNames(held))
+			}
+		case *ast.CallExpr:
+			if why := blockingCall(p, n); why != "" {
+				p.Reportf(n.Pos(),
+					"%s while holding %s: critical sections must not wait on peers or the scheduler; move the call outside the lock (render to a buffer / snapshot under the lock)", why, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether e is a Lock/RLock/Unlock/RUnlock method call
+// on a sync.Mutex or sync.RWMutex, returning the receiver's expression
+// string and the operation name.
+func mutexOp(p *Pass, e ast.Expr) (mutex, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", ""
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return "", ""
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// blockingCall classifies a call as a blocking operation, returning a
+// short description or "".
+func blockingCall(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if recvIsNil(fn) {
+		switch pkg {
+		case "time":
+			if name == "Sleep" {
+				return "time.Sleep"
+			}
+		case "net/http":
+			if ctxlessHTTPFuncs[name] {
+				return "outbound HTTP call (http." + name + ")"
+			}
+		case "net":
+			if strings.HasPrefix(name, "Dial") {
+				return "network dial (net." + name + ")"
+			}
+		case "fmt":
+			if (name == "Fprintf" || name == "Fprintln" || name == "Fprint") &&
+				len(call.Args) > 0 && isAbstractStream(p, call.Args[0]) {
+				return "write to an abstract io.Writer (fmt." + name + ")"
+			}
+		case "io":
+			if (name == "Copy" || name == "WriteString" || name == "ReadAll") &&
+				len(call.Args) > 0 && isAbstractStream(p, call.Args[0]) {
+				return "stream I/O on an abstract reader/writer (io." + name + ")"
+			}
+		}
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	t := recv.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	rpkg, rname := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case rpkg == "sync" && rname == "WaitGroup" && name == "Wait":
+		return "sync.WaitGroup.Wait"
+	case rpkg == "net/http" && rname == "Client":
+		return "outbound HTTP call (http.Client." + name + ")"
+	case rname == "Client" && (rpkg == "resilience" || strings.HasSuffix(rpkg, "/resilience")):
+		return "outbound HTTP call (resilience.Client." + name + ")"
+	}
+	return ""
+}
+
+// isAbstractStream reports whether e's static type is an interface —
+// fmt.Fprintf to an io.Writer parameter may be writing to a network
+// peer, while a concrete *bytes.Buffer is in-memory and safe.
+func isAbstractStream(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isIface := tv.Type.Underlying().(*types.Interface)
+	return isIface
+}

@@ -79,7 +79,7 @@ func checkPoolConsumption(p *Pass, body *ast.BlockStmt) {
 		switch {
 		case calleeFrom(p.Info, call, "parallel", "For"):
 			if len(call.Args) > 0 {
-				if lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit); ok {
+				if lit := resolveFuncLit(p, body, call.Args[len(call.Args)-1]); lit != nil {
 					fors = append(fors, forCall{call: call, written: capturedWrites(p, lit)})
 				}
 			}
@@ -124,6 +124,57 @@ func checkPoolConsumption(p *Pass, body *ast.BlockStmt) {
 			}
 		})
 	}
+}
+
+// resolveFuncLit resolves the worker argument of a parallel.For call to
+// its function literal: either written inline, or — the blind spot this
+// closes — bound to a local variable first (`worker := func(...){...};
+// parallel.For(n, w, worker)`). For a variable, the literal is found by
+// scanning the scope for the assignment or declaration that binds it.
+func resolveFuncLit(p *Pass, scope *ast.BlockStmt, e ast.Expr) *ast.FuncLit {
+	e = ast.Unparen(e)
+	if lit, ok := e.(*ast.FuncLit); ok {
+		return lit
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	sameVar := func(bound *ast.Ident) bool {
+		return p.Info.Defs[bound] == obj || p.Info.Uses[bound] == obj
+	}
+	var found *ast.FuncLit
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !sameVar(lid) {
+					continue
+				}
+				if lit, ok := ast.Unparen(s.Rhs[i]).(*ast.FuncLit); ok {
+					found = lit
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) && sameVar(name) {
+					if lit, ok := ast.Unparen(s.Values[i]).(*ast.FuncLit); ok {
+						found = lit
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // inspectScope walks the statements of one function-body scope without

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,13 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 15 {
 		t.Fatalf("loaded only %d packages; expected the whole module", len(pkgs))
 	}
-	findings := RunAnalyzers(pkgs, All())
+	// Relativize to the module root so a failure prints the clickable
+	// internal/pkg/file.go:line:col form.
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatalf("resolve module root: %v", err)
+	}
+	findings := Rel(RunAnalyzers(pkgs, All()), root)
 	for _, f := range Active(findings) {
 		t.Errorf("repo not lint-clean: %s", f)
 	}

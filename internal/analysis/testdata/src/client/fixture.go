@@ -1,0 +1,54 @@
+// Package client is an mfodlint fixture for the ctxpropagate analyzer:
+// serving-tier code must thread contexts derived from the inbound
+// request or budget, never mint fresh roots or issue context-free HTTP.
+package client
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// FreshRoot mints a root context on a request path.
+func FreshRoot() context.Context {
+	return context.Background() // want "context.Background on a request path"
+}
+
+// Todo is the other root constructor.
+func Todo() context.Context {
+	return context.TODO() // want "context.TODO on a request path"
+}
+
+// BareGet issues a request with no context at all.
+func BareGet(url string) (*http.Response, error) {
+	return http.Get(url) // want "http.Get issues a request with no context"
+}
+
+// BarePost is the same for POST.
+func BarePost(url string) (*http.Response, error) {
+	return http.Post(url, "application/json", nil) // want "http.Post issues a request with no context"
+}
+
+// CtxFree builds a request that carries context.Background under the hood.
+func CtxFree(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want "http.NewRequest builds a context-free request"
+}
+
+// Derived is the sanctioned pattern: the caller's context flows through
+// WithTimeout into the outbound request.
+func Derived(ctx context.Context, url string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// Janitor documents a legitimate background lifecycle whose root context
+// is bounded elsewhere.
+func Janitor() context.Context {
+	//mfodlint:allow ctxpropagate fixture janitor loop outlives any request; bounded by the stop channel
+	return context.Background()
+}

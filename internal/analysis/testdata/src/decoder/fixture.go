@@ -1,0 +1,77 @@
+// Package decoder is an mfodlint fixture for the wirebounds analyzer:
+// length-prefixed decoding must bounds-check every decoded count before
+// it sizes an allocation, and must do size arithmetic in a wide type.
+// DecodeWrap reproduces the PR 6 wire.decodeSample wrap bug verbatim.
+package decoder
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errRange = errors.New("decoder: count out of range")
+
+const (
+	maxVars  = 1 << 10
+	maxTotal = 1 << 24
+)
+
+// DecodeUnchecked sizes an allocation from a decoded count that no
+// condition ever compares against anything.
+func DecodeUnchecked(b []byte) []float64 {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]float64, n) // want "no dominating bounds check"
+}
+
+// DecodeDirect feeds the wire read straight into make.
+func DecodeDirect(b []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint32(b)) // want "sized directly from a wire read"
+}
+
+// DecodeWrap is the decodeSample bug: m and p are individually checked,
+// but the element count is computed in uint32, wraps for large inputs,
+// and sails under the stale checks into the allocation.
+func DecodeWrap(b []byte) ([]float64, error) {
+	m := binary.LittleEndian.Uint32(b)
+	p := binary.LittleEndian.Uint32(b[4:])
+	if m == 0 || m > maxVars || p > maxVars {
+		return nil, errRange
+	}
+	total := (1 + p) * m               // want "arithmetic on a decoded value can wrap"
+	return make([]float64, total), nil // want "no dominating bounds check"
+}
+
+// DecodeGood is the sanctioned shape: widen first, bound the final
+// count against a declared cap, then allocate.
+func DecodeGood(b []byte) ([]float64, error) {
+	m := uint64(binary.LittleEndian.Uint32(b))
+	p := uint64(binary.LittleEndian.Uint32(b[4:]))
+	if m == 0 || m > maxVars || p > maxVars {
+		return nil, errRange
+	}
+	total := (1 + p) * m
+	if total > maxTotal {
+		return nil, errRange
+	}
+	return make([]float64, total), nil
+}
+
+// CopyLoop derives offsets in a wide type from checked counts: clean.
+func CopyLoop(b []byte) ([]uint64, error) {
+	n := binary.LittleEndian.Uint32(b)
+	if uint64(n)*8 > uint64(len(b))-4 {
+		return nil, errRange
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[4+8*i:])
+	}
+	return out, nil
+}
+
+// AllowedProbe documents a deliberately unchecked scratch allocation.
+func AllowedProbe(b []byte) []byte {
+	n := binary.LittleEndian.Uint16(b)
+	//mfodlint:allow wirebounds fixture probe buffer is capped at 65535 by the uint16 read itself
+	return make([]byte, n)
+}

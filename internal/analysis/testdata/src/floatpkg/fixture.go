@@ -50,3 +50,51 @@ func ConstFolded() bool {
 func Allowed(a, b float64) bool {
 	return a == b //mfodlint:allow floateq bit-identical golden comparison intended in this fixture
 }
+
+// Score is a named float: the comparison must resolve through the named
+// type to the float64 underneath.
+type Score float64
+
+// NamedEq compares named floats: still a violation.
+func NamedEq(a, b Score) bool {
+	return a == b // want "float operands"
+}
+
+// ScoreAlias is a type alias; aliases resolve the same way.
+type ScoreAlias = Score
+
+// AliasEq compares through an alias: still a violation.
+func AliasEq(a, b ScoreAlias) bool {
+	return a != b // want "float operands"
+}
+
+// Vec is a comparable array of floats: == compares elements exactly.
+type Vec [2]float64
+
+// ArrayEq compares float arrays element-wise: a violation — each
+// element comparison is as order-of-evaluation fragile as a scalar one.
+func ArrayEq(a, b Vec) bool {
+	return a == b // want "float operands"
+}
+
+// Point is a comparable struct with float fields.
+type Point struct {
+	X, Y float64
+	Tag  string
+}
+
+// StructEq compares structs containing floats: a violation.
+func StructEq(a, b Point) bool {
+	return a != b // want "float operands"
+}
+
+// Key has no float anywhere: exempt, composite or not.
+type Key struct {
+	Model string
+	N     int
+}
+
+// IntKeyEq compares a float-free struct: exempt.
+func IntKeyEq(a, b Key) bool {
+	return a == b
+}

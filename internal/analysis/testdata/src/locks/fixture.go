@@ -1,0 +1,137 @@
+// Package locks is an mfodlint fixture for the lockio analyzer: no
+// blocking operation — channel traffic, sleeps, waits, network calls,
+// writes to abstract streams — while a sync.Mutex or RWMutex is held.
+package locks
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals []int
+	ch   chan int
+}
+
+// SendHeld sends on a channel inside the critical section.
+func (b *box) SendHeld(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v // want "channel send while holding b.mu"
+}
+
+// RecvHeld receives inside the critical section.
+func (b *box) RecvHeld() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "channel receive while holding b.mu"
+}
+
+// SleepHeld parks the scheduler with the lock held.
+func (b *box) SleepHeld() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding b.mu"
+	b.mu.Unlock()
+}
+
+// WaitHeld joins a WaitGroup under an RWMutex write lock.
+func (b *box) WaitHeld(wg *sync.WaitGroup) {
+	b.rw.Lock()
+	defer b.rw.Unlock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding b.rw"
+}
+
+// FetchHeld makes a network call under a read lock.
+func (b *box) FetchHeld(url string) (*http.Response, error) {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return http.Get(url) // want "outbound HTTP call"
+}
+
+// RenderHeld writes to an abstract io.Writer — possibly a peer's
+// ResponseWriter — with the lock held.
+func (b *box) RenderHeld(w io.Writer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fmt.Fprintf(w, "%d\n", len(b.vals)) // want "abstract io.Writer"
+}
+
+// SelectHeld blocks on a select with no default arm.
+func (b *box) SelectHeld(stop chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "select without a default clause while holding b.mu"
+	case v := <-b.ch:
+		b.vals = append(b.vals, v)
+	case <-stop:
+	}
+}
+
+// TryHeld uses a select with a default arm: non-blocking, exempt.
+func (b *box) TryHeld(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// BufferHeld renders into a concrete in-memory buffer under the lock
+// and writes to the peer after releasing it: the sanctioned pattern.
+func (b *box) BufferHeld(w io.Writer) {
+	var buf bytes.Buffer
+	b.mu.Lock()
+	fmt.Fprintf(&buf, "%d\n", len(b.vals))
+	b.mu.Unlock()
+	w.Write(buf.Bytes())
+}
+
+// SendAfterUnlock snapshots under the lock and blocks only after it is
+// released.
+func (b *box) SendAfterUnlock() {
+	b.mu.Lock()
+	n := len(b.vals)
+	b.mu.Unlock()
+	b.ch <- n
+}
+
+// EarlyUnlockBranch releases the lock in a guard branch and blocks on
+// the path where it is no longer held: the branch-aware walk must not
+// poison the main path.
+func (b *box) EarlyUnlockBranch(wg *sync.WaitGroup, closing bool) {
+	b.mu.Lock()
+	if closing {
+		b.mu.Unlock()
+		wg.Wait()
+		return
+	}
+	b.vals = nil
+	b.mu.Unlock()
+}
+
+// GoroutineUnderLock launches a worker while holding the lock: the
+// launch itself never blocks, and the goroutine body is its own scope.
+func (b *box) GoroutineUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1
+	}()
+}
+
+// AllowedHandoff documents a deliberate send under the lock.
+func (b *box) AllowedHandoff(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//mfodlint:allow lockio fixture handoff channel is buffered and drained by a dedicated receiver; send cannot block
+	b.ch <- v
+}

@@ -1,0 +1,54 @@
+// Package stream is an mfodlint fixture for the envelopediscipline
+// analyzer: handler packages must send every error response through the
+// internal/httpapi v1 envelope, never plain-text bodies or raw
+// WriteHeader status codes.
+package stream
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// PlainError uses the stdlib plain-text error helper.
+func PlainError(w http.ResponseWriter) {
+	http.Error(w, "bad request", http.StatusBadRequest) // want "http.Error writes a plain-text error body"
+}
+
+// PlainNotFound uses the stdlib 404 helper.
+func PlainNotFound(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want "http.NotFound writes a plain-text error body"
+}
+
+// RawStatus writes a bare 4xx through a named constant.
+func RawStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTooManyRequests) // want "raw WriteHeader(429)"
+}
+
+// HandRolled writes a raw 5xx and then a free-text body: both halves of
+// the hand-rolled error response are findings.
+func HandRolled(w http.ResponseWriter, err error) {
+	w.WriteHeader(500)                          // want "raw WriteHeader(500)"
+	fmt.Fprintf(w, "internal error: %v\n", err) // want "hand-rolled error body"
+}
+
+// OKHeader writes a success status: out of scope.
+func OKHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Relay forwards an upstream status unchanged: the upstream hop already
+// wrote the envelope, so a variable status is out of scope.
+func Relay(w http.ResponseWriter, resp *http.Response) {
+	w.WriteHeader(resp.StatusCode)
+}
+
+// Healthz writes a plain success body with no error header in sight.
+func Healthz(w http.ResponseWriter) {
+	fmt.Fprintln(w, "ok")
+}
+
+// Probe documents a deliberate raw status on a non-API endpoint.
+func Probe(w http.ResponseWriter) {
+	//mfodlint:allow envelopediscipline fixture load-balancer probe endpoint speaks bare statuses by contract
+	w.WriteHeader(http.StatusServiceUnavailable)
+}

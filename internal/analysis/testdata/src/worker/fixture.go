@@ -60,3 +60,51 @@ func AllowedGo(n int) int {
 	go func() { done <- n }()
 	return <-done
 }
+
+type runner struct{ n int }
+
+func (r *runner) run() {}
+
+// MethodGo launches a method value: the launch shape must not matter.
+func MethodGo(r *runner) {
+	go r.run() // want "goroutine launched outside"
+}
+
+// VarGo binds the literal to a variable before launching it.
+func VarGo(n int) {
+	body := func() { _ = n }
+	go body() // want "goroutine launched outside"
+}
+
+// EarlyVarWorker is the resolveFuncLit blind spot: the worker literal is
+// bound to a variable before the parallel.For call, and the result
+// slice it fills is still consumed before the error check.
+func EarlyVarWorker(xs []float64) (float64, error) {
+	out := make([]float64, len(xs))
+	errs := make([]error, len(xs))
+	worker := func(_, i int) {
+		out[i] = xs[i] * 2
+		errs[i] = nil
+	}
+	parallel.For(len(xs), 0, worker)
+	first := out[0] // want "consumed before the parallel.FirstError check"
+	if err := parallel.FirstError(errs); err != nil {
+		return 0, err
+	}
+	return first, nil
+}
+
+// CleanVarWorker is the same shape done right: error check first.
+func CleanVarWorker(xs []float64) (float64, error) {
+	out := make([]float64, len(xs))
+	errs := make([]error, len(xs))
+	worker := func(_, i int) {
+		out[i] = xs[i] * 2
+		errs[i] = nil
+	}
+	parallel.For(len(xs), 0, worker)
+	if err := parallel.FirstError(errs); err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}

@@ -45,6 +45,14 @@ func calleeFrom(info *types.Info, call *ast.CallExpr, pkgSuffix, name string) bo
 	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
 }
 
+// recvIsNil reports whether fn is a package-level function (no
+// receiver), distinguishing http.Get the helper from a Get method on
+// some unrelated type.
+func recvIsNil(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
 // rootIdent unwraps selector / index / star / paren chains down to the
 // base identifier and reports how many layers were unwrapped.
 // "m.cache[k]" -> (m, 2); "x" -> (x, 0); "(*f).n" -> (f, 2).

@@ -112,6 +112,7 @@ func (h *Health) probe(f *fleet) {
 }
 
 func (h *Health) probeOne(client *http.Client, url string, timeout time.Duration) bool {
+	//mfodlint:allow ctxpropagate background health prober runs outside any request; every probe is bounded by the per-probe timeout
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)

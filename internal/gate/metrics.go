@@ -1,6 +1,7 @@
 package gate
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -181,11 +182,20 @@ func (m *Metrics) RegisterFleetGauges(fleetSize func() int, healthDown func() ma
 	}
 }
 
-// WritePrometheus renders every series in sorted order.
+// WritePrometheus renders every series in sorted order. Rendering
+// happens into an in-memory buffer under the lock; the bytes reach w —
+// usually a scraper's ResponseWriter — only after the lock is released,
+// so a slow scraper cannot convoy the request path on m.mu.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	if m == nil {
 		return
 	}
+	var buf bytes.Buffer
+	m.renderLocked(&buf)
+	w.Write(buf.Bytes())
+}
+
+func (m *Metrics) renderLocked(w *bytes.Buffer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -296,6 +306,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintln(w, "# HELP mfodgate_replica_down Replicas currently failing health checks.")
 		fmt.Fprintln(w, "# TYPE mfodgate_replica_down gauge")
 		fmt.Fprintf(w, "mfodgate_replica_down %d\n", len(names))
+		fmt.Fprintln(w, "# HELP mfodgate_replica_down_info One series per replica currently failing health checks.")
+		fmt.Fprintln(w, "# TYPE mfodgate_replica_down_info gauge")
 		for _, n := range names {
 			fmt.Fprintf(w, "mfodgate_replica_down_info{replica=%q} 1\n", n)
 		}

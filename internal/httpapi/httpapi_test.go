@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -109,6 +110,88 @@ func TestParseErrorNonEnvelope(t *testing.T) {
 	}
 	if ae.Message != "<html>nginx</html>" {
 		t.Errorf("message = %q, want raw body", ae.Message)
+	}
+}
+
+// TestEveryCodeRoundTrips drives every machine code the serve, gate,
+// jobs and stream tiers emit through the full envelope cycle — write
+// with ErrorCode/ErrorRetry, decode with ParseError — and pins the wire
+// strings themselves. The wire literal is asserted against the raw JSON
+// too, so renaming a Code* constant (which clients switch on) cannot
+// slip through as a "refactor". This is the data-side contract behind
+// the envelopediscipline analyzer: handlers are forced through these
+// helpers, and these helpers are proven to round-trip.
+func TestEveryCodeRoundTrips(t *testing.T) {
+	cases := []struct {
+		code   string
+		wire   string // frozen v1 wire literal, asserted byte-for-byte
+		status int
+		retry  time.Duration // 0 = written with ErrorCode, no hint
+	}{
+		{CodeBadRequest, "bad_request", http.StatusBadRequest, 0},
+		{CodeNotFound, "not_found", http.StatusNotFound, 0},
+		{CodeMethodNotAllowed, "method_not_allowed", http.StatusMethodNotAllowed, 0},
+		{CodeTooLarge, "payload_too_large", http.StatusRequestEntityTooLarge, 0},
+		{CodeUnprocessable, "unprocessable", http.StatusUnprocessableEntity, 0},
+		{CodeOverloaded, "overloaded", http.StatusTooManyRequests, 2 * time.Second},
+		{CodeUnavailable, "unavailable", http.StatusServiceUnavailable, 5 * time.Second},
+		{CodeDeadlineExceeded, "deadline_exceeded", http.StatusGatewayTimeout, 0},
+		{CodeUpstream, "upstream_error", http.StatusBadGateway, 0},
+		{CodeInternal, "internal", http.StatusInternalServerError, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.code, func(t *testing.T) {
+			if c.code != c.wire {
+				t.Fatalf("wire literal drifted: constant = %q, frozen v1 value = %q", c.code, c.wire)
+			}
+			rec := httptest.NewRecorder()
+			if c.retry > 0 {
+				ErrorRetry(rec, c.status, c.code, c.retry, "tier says no")
+			} else {
+				ErrorCode(rec, c.status, c.code, "tier says no")
+			}
+			if rec.Code != c.status {
+				t.Fatalf("status = %d, want %d", rec.Code, c.status)
+			}
+			eb := decode(t, rec.Body.Bytes())
+			if eb.Error.Code != c.wire {
+				t.Fatalf("encoded code = %q, want %q", eb.Error.Code, c.wire)
+			}
+
+			ae := ParseError(rec.Code, rec.Body.Bytes())
+			if ae.Status != c.status || ae.Code != c.code || ae.Message != "tier says no" {
+				t.Errorf("round trip mismatch: %+v", ae)
+			}
+			// The body hint and the Retry-After header must tell the
+			// same story: both present with the same value, or both absent.
+			header := rec.Header().Get("Retry-After")
+			switch {
+			case c.retry > 0:
+				if header == "" {
+					t.Error("retry case lost its Retry-After header")
+				}
+				secs, err := strconv.ParseInt(header, 10, 64)
+				if err != nil {
+					t.Fatalf("Retry-After %q is not an integer: %v", header, err)
+				}
+				if ae.RetryAfterMs != secs*1000 {
+					t.Errorf("retry_after_ms = %d, header = %ds: hints disagree", ae.RetryAfterMs, secs)
+				}
+			default:
+				if header != "" || ae.RetryAfterMs != 0 {
+					t.Errorf("no-hint case grew a retry hint: header %q, body %d", header, ae.RetryAfterMs)
+				}
+			}
+
+			// Error (the default-code writer) must pick the same code for
+			// this status that the explicit writer used, for every status
+			// with a canonical code.
+			rec2 := httptest.NewRecorder()
+			Error(rec2, c.status, "default writer")
+			if got := decode(t, rec2.Body.Bytes()); got.Error.Code != CodeForStatus(c.status) {
+				t.Errorf("Error(%d) code = %q, want %q", c.status, got.Error.Code, CodeForStatus(c.status))
+			}
+		})
 	}
 }
 

@@ -210,6 +210,7 @@ func (m *Manager) Submit(model string, ds fda.Dataset, chunkSize int) (*Job, err
 		return nil, ErrTooManyJobs
 	}
 	m.nextID++
+	//mfodlint:allow ctxpropagate job lifetime exceeds the submitting request; each chunk is bounded by ChunkTimeout and the whole job by Cancel/eviction
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		id:        fmt.Sprintf("j%06d", m.nextID),

@@ -7,6 +7,7 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -228,10 +229,20 @@ func (m *Metrics) RegisterStreams(active func() int, appends, evicted, fits func
 }
 
 // WritePrometheus renders every series in the Prometheus text format.
+// The page is rendered into an in-memory buffer under the lock and
+// written to w only after it is released: w is typically a
+// ResponseWriter backed by a scraper's TCP connection, and a slow
+// scraper must not convoy the request path on m.mu.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	if m == nil {
 		return
 	}
+	var buf bytes.Buffer
+	m.renderLocked(&buf)
+	w.Write(buf.Bytes())
+}
+
+func (m *Metrics) renderLocked(w *bytes.Buffer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
